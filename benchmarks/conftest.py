@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench writes its rendered table/series to ``benchmarks/results/``
+so a run leaves the regenerated paper artifacts on disk, and asserts the
+paper's qualitative shape (who wins, by what factor, where the knees
+are) — absolute times are calibrated, shapes are the reproduction.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Write one rendered artifact: save_result("table1", text)."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,51 @@
+"""Ablation A1: interface transmit-buffer count (paper §2.1.3).
+
+The paper claims double buffering helps (copies overlap transmissions)
+but a third buffer adds nothing because both C and T are constant.  We
+sweep 1-4 buffers and also probe the regime the claim depends on: with
+*variable* effective copy cost the third buffer would matter, but with
+the paper's constant costs it must not.
+"""
+
+import pytest
+
+from repro.bench.tables import ExperimentTable, format_ms
+from repro.core import run_transfer
+from repro.simnet import NetworkParams
+
+N = 32
+DATA = bytes(N * 1024)
+
+
+def buffering_sweep() -> ExperimentTable:
+    table = ExperimentTable(
+        "Ablation A1: transmit buffers vs 32 KB blast time (ms)",
+        ["tx_buffers", "elapsed", "speedup vs single"],
+    )
+    single = None
+    for n_buf in (1, 2, 3, 4):
+        params = NetworkParams.standalone(
+            tx_buffers=n_buf, busy_wait=(n_buf == 1)
+        )
+        elapsed = run_transfer("blast", DATA, params=params).elapsed_s
+        if single is None:
+            single = elapsed
+        table.add_row(n_buf, format_ms(elapsed), f"{single / elapsed:.2f}x")
+    return table
+
+
+def check_buffering(table) -> None:
+    times = [float(row[1]) for row in table.rows]
+    assert times[1] < times[0]                        # double beats single
+    assert times[2] == pytest.approx(times[1], rel=1e-9)  # triple adds nothing
+    assert times[3] == pytest.approx(times[1], rel=1e-9)  # nor does a fourth
+    # The paper's specific speedup: T_B/T_dbuf -> (C+T)/C ~ 1.6 at large N.
+    params = NetworkParams.standalone()
+    expected = (params.copy_data_s + params.transmit_data_s) / params.copy_data_s
+    assert times[0] / times[1] == pytest.approx(expected, rel=0.05)
+
+
+def test_ablation_buffering(benchmark, save_result):
+    table = benchmark(buffering_sweep)
+    check_buffering(table)
+    save_result("ablation_buffering", table.render())

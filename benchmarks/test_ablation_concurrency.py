@@ -1,0 +1,75 @@
+"""Ablation A12: concurrent blasts sharing one Ethernet.
+
+The paper studies a single transfer on an idle wire.  What happens when
+several workstation pairs blast at once — does the protocol degrade
+gracefully?  Because each blast only fills ~38 % of the wire, two
+concurrent blasts are nearly free; the knee arrives at three (~114 %
+demand), after which completion time grows like wire-serialised demand.
+Carrier-sense FIFO keeps the sharing fair (no pair starves).
+"""
+
+from repro.bench.tables import ExperimentTable, format_ms
+from repro.core import BlastTransfer
+from repro.sim import Environment
+from repro.simnet import NetworkParams, make_network
+
+N = 16
+PARAMS = NetworkParams.standalone()
+
+
+def run_pairs(n_pairs: int):
+    env = Environment()
+    names = [f"h{i}" for i in range(2 * n_pairs)]
+    hosts, medium = make_network(env, names, PARAMS)
+    transfers = []
+    for pair in range(n_pairs):
+        transfers.append(
+            BlastTransfer(
+                env, hosts[2 * pair], hosts[2 * pair + 1],
+                bytes(N * 1024), transfer_id=pair + 1,
+            )
+        )
+    done = [t.launch() for t in transfers]
+    env.run(env.all_of(done))
+    return [t.result() for t in transfers]
+
+
+def concurrency_sweep() -> ExperimentTable:
+    table = ExperimentTable(
+        "Ablation A12: concurrent 16 KB blasts on one wire",
+        ["pairs", "mean (ms)", "worst (ms)", "worst/solo", "fairness"],
+        notes=["one blast alone uses ~38% of the wire"],
+    )
+    solo = run_pairs(1)[0].elapsed_s
+    for n_pairs in (1, 2, 3, 4, 6):
+        results = run_pairs(n_pairs)
+        assert all(r.data_intact for r in results)
+        times = [r.elapsed_s for r in results]
+        table.add_row(
+            n_pairs,
+            format_ms(sum(times) / len(times)),
+            format_ms(max(times)),
+            f"{max(times) / solo:.2f}x",
+            f"{max(times) / min(times):.2f}",
+        )
+    return table
+
+
+def check_concurrency(table) -> None:
+    worst = [float(row[2]) for row in table.rows]
+    fairness = [float(row[4]) for row in table.rows]
+    pairs = [int(row[0]) for row in table.rows]
+    # Two pairs nearly free; beyond the wire's capacity it must slow.
+    by_pairs = dict(zip(pairs, worst))
+    assert by_pairs[2] < by_pairs[1] * 1.10
+    assert by_pairs[3] > by_pairs[1] * 1.05
+    assert by_pairs[6] > by_pairs[3]
+    # Monotone degradation and bounded unfairness throughout.
+    assert worst == sorted(worst)
+    assert all(f < 1.35 for f in fairness)
+
+
+def test_ablation_concurrency(benchmark, save_result):
+    table = benchmark.pedantic(concurrency_sweep, rounds=1, iterations=1)
+    check_concurrency(table)
+    save_result("ablation_concurrency", table.render())

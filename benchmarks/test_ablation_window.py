@@ -1,0 +1,52 @@
+"""Ablation A7: how large must the sliding window actually be?
+
+The paper assumes "the window is large enough so that it never gets
+closed" and never revisits it.  On a 10 Mb/s LAN the bandwidth-delay
+product is ~12 bytes — about 1 % of a packet — so the assumption is
+nearly free: W = 3 already matches an infinite window, and W = 1 *is*
+stop-and-wait.  This bench quantifies the whole transition.
+"""
+
+import pytest
+
+from repro.analysis import t_stop_and_wait
+from repro.bench.tables import ExperimentTable, format_ms
+from repro.core import run_transfer
+from repro.simnet import NetworkParams
+
+N = 32
+DATA = bytes(N * 1024)
+PARAMS = NetworkParams.standalone()
+
+
+def window_sweep() -> ExperimentTable:
+    table = ExperimentTable(
+        "Ablation A7: sliding-window size vs 32 KB transfer time (ms)",
+        ["window", "elapsed", "vs infinite"],
+        notes=["bandwidth-delay product ~ 12 bytes ~ 1% of a packet"],
+    )
+    infinite = run_transfer("sliding_window", DATA, params=PARAMS).elapsed_s
+    for window in (1, 2, 3, 4, 8, 16, None):
+        elapsed = run_transfer(
+            "sliding_window", DATA, params=PARAMS, window=window
+        ).elapsed_s
+        table.add_row(
+            "inf" if window is None else window,
+            format_ms(elapsed),
+            f"{elapsed / infinite:.3f}x",
+        )
+    return table
+
+
+def check_window(table) -> None:
+    times = {str(row[0]): float(row[1]) for row in table.rows}
+    # Cells are rendered at 0.01 ms precision.
+    assert times["1"] == pytest.approx(t_stop_and_wait(N, PARAMS) * 1e3, abs=0.01)
+    assert times["3"] == pytest.approx(times["inf"], rel=0.005)
+    assert times["1"] > 1.5 * times["inf"]
+
+
+def test_ablation_window(benchmark, save_result):
+    table = benchmark(window_sweep)
+    check_window(table)
+    save_result("ablation_window", table.render())

@@ -1,0 +1,12 @@
+"""Bench: regenerate the Figure 1 protocol sketches as ASCII timelines."""
+
+from repro.bench import figure1_protocol_sketch
+
+
+def test_figure1_timelines(benchmark, save_result):
+    art = benchmark(figure1_protocol_sketch, 3)
+    # All three protocols rendered, with copy (#) and wire (=) activity.
+    for protocol in ("stop_and_wait", "blast", "sliding_window"):
+        assert protocol in art
+    assert "#" in art and "=" in art
+    save_result("figure1_timelines", art)

@@ -1,0 +1,27 @@
+"""Bench: quantify paper Figure 3 — copy overlap across protocols.
+
+Shape criteria: stop-and-wait has zero processor-copy overlap; blast and
+sliding window overlap the bulk of their interior copies; the
+double-buffered interface is faster still.
+"""
+
+from repro.bench import figure3_timelines
+
+
+def check_figure3(table) -> None:
+    rows = {row[0]: row for row in table.rows}
+    saw_overlap = float(rows["stop_and_wait"][2])
+    blast_overlap = float(rows["blast"][2])
+    sw_overlap = float(rows["sliding_window"][2])
+    assert saw_overlap == 0.0
+    assert blast_overlap > 0.0
+    assert sw_overlap > 0.0
+    elapsed = {name: float(row[1]) for name, row in rows.items()}
+    assert elapsed["blast"] < elapsed["stop_and_wait"]
+    assert elapsed["blast (double buffered)"] < elapsed["blast"]
+
+
+def test_figure3_overlap(benchmark, save_result):
+    table = benchmark(figure3_timelines, 3)
+    check_figure3(table)
+    save_result("figure3_overlap", table.render())

@@ -1,0 +1,43 @@
+"""Bench: regenerate paper Figure 4 (elapsed time vs N, four variants).
+
+Shape criteria: for N >= 3 the ordering is dbuf < blast < SW < SAW; the
+gap grows linearly with N; the DES series match the closed forms (blast
+and SAW exactly, SW within one ack copy).
+"""
+
+import pytest
+
+from repro.bench import figure4_protocol_comparison
+
+
+def check_figure4(series) -> None:
+    for n in series.x_values:
+        if n >= 3:
+            assert (
+                series.at("B dbuf", n)
+                < series.at("B", n)
+                < series.at("SW", n)
+                < series.at("SAW", n)
+            )
+    # DES agrees with formulas.
+    for n in series.x_values:
+        assert series.at("B des", n) == pytest.approx(series.at("B", n), abs=0.02)
+        assert series.at("SAW des", n) == pytest.approx(series.at("SAW", n), abs=0.02)
+        assert series.at("SW des", n) == pytest.approx(series.at("SW", n), abs=0.2)
+        assert series.at("B dbuf des", n) == pytest.approx(
+            series.at("B dbuf", n), abs=0.02
+        )
+    # Linearity: the SAW - blast gap is proportional to (N - 1), so the
+    # N=64 gap is (64-1)/(4-1) = 21x the N=4 gap.
+    gap64 = series.at("SAW", 64) - series.at("B", 64)
+    gap4 = series.at("SAW", 4) - series.at("B", 4)
+    assert gap64 / gap4 == pytest.approx(21, rel=0.02)
+
+
+def test_figure4_comparison(benchmark, save_result):
+    series = benchmark(figure4_protocol_comparison)
+    check_figure4(series)
+    save_result(
+        "figure4_comparison",
+        series.render() + "\n\n" + series.render_plot(width=64, height=18),
+    )

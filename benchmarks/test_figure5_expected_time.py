@@ -1,0 +1,55 @@
+"""Bench: regenerate paper Figure 5 (expected time vs p_n, 64 KB).
+
+Shape criteria: blast sits in a flat region (~T0(D)) through the
+network error rate (1e-5) and only enters the knee at the interface
+error rate (1e-4); blast beats stop-and-wait everywhere in the operating
+region; larger T_r only matters once errors are frequent.
+"""
+
+import pytest
+
+from repro.bench import figure5_expected_time
+from repro.bench.expectations import (
+    INTERFACE_ERROR_RATE,
+    NETWORK_ERROR_RATE,
+    VKERNEL_T0_64_MS,
+)
+
+
+def check_figure5(series) -> None:
+    t0_d = VKERNEL_T0_64_MS
+    # Flat region at the network error rate.
+    assert series.at("blast Tr=T0(D)", NETWORK_ERROR_RATE) == pytest.approx(
+        t0_d, rel=0.01
+    )
+    # Beginning of the knee at the interface error rate: visible (>0.5 %)
+    # but small (<10 %).
+    knee = series.at("blast Tr=T0(D)", INTERFACE_ERROR_RATE) / t0_d
+    assert 1.005 < knee < 1.10
+    # Blast beats SAW decisively throughout the operating region.
+    for pn in (1e-6, NETWORK_ERROR_RATE, INTERFACE_ERROR_RATE):
+        for blast_curve in ("blast Tr=T0(D)", "blast Tr=10xT0(D)"):
+            for saw_curve in ("SAW Tr=10xT0(1)", "SAW Tr=100xT0(1)"):
+                assert series.at(blast_curve, pn) < series.at(saw_curve, pn) / 1.8
+    # All curves monotone nondecreasing in p_n.
+    for name, values in series.series.items():
+        assert list(values) == sorted(values), name
+    # T_r only separates the blast curves once errors are frequent.
+    assert series.at("blast Tr=10xT0(D)", 1e-6) == pytest.approx(
+        series.at("blast Tr=T0(D)", 1e-6), rel=0.01
+    )
+    assert series.at("blast Tr=10xT0(D)", 1e-2) > 2 * series.at("blast Tr=T0(D)", 1e-2)
+
+
+def test_figure5_expected_time(benchmark, save_result):
+    series = benchmark(figure5_expected_time)
+    check_figure5(series)
+    dense = figure5_expected_time(
+        pn_values=tuple(10 ** (-7 + i / 4) for i in range(25))
+    )
+    save_result(
+        "figure5_expected_time",
+        series.render()
+        + "\n\n"
+        + dense.render_plot(width=64, height=18, log_x=True, log_y=True),
+    )

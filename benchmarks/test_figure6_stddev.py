@@ -1,0 +1,41 @@
+"""Bench: regenerate paper Figure 6 (std deviation vs p_n, 64 KB MoveTo).
+
+Shape criteria (the paper's §3.2.4 summary): full retransmission without
+NAK produces unacceptable variation; a NAK reduces it drastically;
+partial (go-back-n) reduces it further; selective is better still but
+"not very significant" for the paper's engineering choice, which rests
+on expected time (checked in the integration suite).
+"""
+
+from repro.bench import figure6_stddev
+
+
+def check_figure6(series) -> None:
+    for pn in (1e-4, 1e-3, 1e-2):
+        no_nak = series.at("full, no NAK", pn)
+        nak = series.at("full, NAK", pn)
+        partial = series.at("partial (MC)", pn)
+        selective = series.at("selective (MC)", pn)
+        assert no_nak > 3 * nak          # "reduces these variations drastically"
+        assert nak > partial             # "further reduction of the variance"
+        assert partial > selective       # selective best...
+        assert no_nak > 20 * selective   # ...and no-NAK is the clear loser
+    # Sigma grows with p_n for every strategy.
+    for name, values in series.series.items():
+        assert list(values) == sorted(values), name
+
+
+def test_figure6_stddev(benchmark, save_result):
+    series = benchmark(
+        lambda: figure6_stddev(pn_values=(1e-4, 1e-3, 1e-2), n_trials=4000)
+    )
+    check_figure6(series)
+    dense = figure6_stddev(
+        pn_values=tuple(10 ** (-4 + i / 4) for i in range(9)), n_trials=2000
+    )
+    save_result(
+        "figure6_stddev",
+        series.render()
+        + "\n\n"
+        + dense.render_plot(width=64, height=18, log_x=True, log_y=True),
+    )

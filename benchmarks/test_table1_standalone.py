@@ -1,0 +1,36 @@
+"""Bench: regenerate paper Table 1 (standalone error-free measurements).
+
+Shape criteria: at 64 KB stop-and-wait is ~2x blast; sliding window sits
+between them within ~10 % of blast; the 1 KB exchange is ~4 ms.
+"""
+
+from repro.bench import table1_standalone
+from repro.bench.expectations import SAW_OVER_BLAST_RATIO_RANGE
+
+
+def _ms(cell: str) -> float:
+    return float(cell)
+
+
+def check_table1(table) -> None:
+    saw = [_ms(c) for c in table.column("SAW")]
+    sw = [_ms(c) for c in table.column("SW")]
+    blast = [_ms(c) for c in table.column("B")]
+    formula = [_ms(c) for c in table.column("B formula")]
+    # 1 KB exchange ~ 3.9-4.1 ms (paper: "4.1 milliseconds").
+    assert 3.8 <= saw[0] <= 4.2
+    # SAW ~ 2x blast at 64 KB.
+    low, high = SAW_OVER_BLAST_RATIO_RANGE
+    assert low < saw[-1] / blast[-1] < high
+    # SW between blast and SAW, within 10 % of blast (paper §1).
+    assert blast[-1] <= sw[-1] <= saw[-1]
+    assert sw[-1] / blast[-1] < 1.10
+    # DES agrees with the closed form for blast.
+    for measured, predicted in zip(blast, formula):
+        assert abs(measured - predicted) < 0.01
+
+
+def test_table1_standalone(benchmark, save_result):
+    table = benchmark(table1_standalone)
+    check_table1(table)
+    save_result("table1_standalone", table.render())

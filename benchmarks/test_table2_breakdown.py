@@ -1,0 +1,34 @@
+"""Bench: regenerate paper Table 2 (1-packet exchange cost breakdown).
+
+Shape criteria: component rows match the paper's to 0.01 ms; the total
+is 3.91 ms accounted / 4.08 ms observed; copying is ~75 % of the total.
+"""
+
+import pytest
+
+from repro.bench import table2_breakdown
+from repro.bench.expectations import (
+    TABLE2_ACCOUNTED_TOTAL_MS,
+    TABLE2_COMPONENTS_MS,
+    TABLE2_OBSERVED_TOTAL_MS,
+)
+
+
+def check_table2(table) -> None:
+    rows = {name: float(value) for name, value in table.rows}
+    for name, expected_ms in TABLE2_COMPONENTS_MS:
+        assert rows[name] == pytest.approx(expected_ms, abs=0.01), name
+    assert rows["Total"] == pytest.approx(TABLE2_ACCOUNTED_TOTAL_MS, abs=0.01)
+    assert rows["Observed elapsed time"] == pytest.approx(
+        TABLE2_OBSERVED_TOTAL_MS, abs=0.01
+    )
+    copies = sum(
+        ms for name, ms in TABLE2_COMPONENTS_MS if name.startswith("Copy")
+    )
+    assert copies / rows["Total"] == pytest.approx(0.78, abs=0.04)
+
+
+def test_table2_breakdown(benchmark, save_result):
+    table = benchmark(table2_breakdown)
+    check_table2(table)
+    save_result("table2_breakdown", table.render())

@@ -1,0 +1,31 @@
+"""Bench: regenerate paper Table 3 (V kernel MoveTo measurements).
+
+Shape criteria: the paper's quoted anchors hold — T0(1) = 5.9 ms and
+T0(64) = 173 ms — and the kernel layer's MoveTo costs exactly what the
+blast formula with kernel constants predicts.
+"""
+
+import pytest
+
+from repro.bench import table3_vkernel
+from repro.bench.expectations import VKERNEL_T0_1_MS, VKERNEL_T0_64_MS
+
+
+def check_table3(table) -> None:
+    moveto = [float(c) for c in table.column("MoveTo")]
+    formula = [float(c) for c in table.column("blast formula")]
+    assert moveto[0] == pytest.approx(VKERNEL_T0_1_MS, abs=0.1)
+    assert moveto[-1] == pytest.approx(VKERNEL_T0_64_MS, abs=1.0)
+    for measured, predicted in zip(moveto, formula):
+        assert measured == pytest.approx(predicted, abs=0.01)
+    # Kernel-level costs exceed standalone (overhead is charged).
+    from repro.bench import table1_standalone
+
+    standalone = [float(c) for c in table1_standalone().column("B")]
+    assert all(k > s for k, s in zip(moveto, standalone))
+
+
+def test_table3_vkernel(benchmark, save_result):
+    table = benchmark(table3_vkernel)
+    check_table3(table)
+    save_result("table3_vkernel", table.render())

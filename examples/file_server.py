@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A V-kernel file server serving a realistic access trace.
+
+The paper's motivating scenario (§2): a diskless workstation reads files
+from a server over the LAN.  The client allocates its buffer first, asks
+the server by IPC, and the server MoveTo-s the file contents straight
+into the client's address space with the blast protocol.
+
+This example replays a Zipf-skewed, read-mostly synthetic trace and
+reports per-operation latency and achieved goodput, with and without
+network errors.
+
+Run:  python examples/file_server.py
+"""
+
+import random
+
+from repro.sim import Environment
+from repro.simnet import BernoulliErrors, NetworkParams, make_lan
+from repro.vkernel import FileClient, FileServer, VKernel
+from repro.workloads import make_trace
+
+
+def replay(error_p: float, n_requests: int = 40, seed: int = 2026):
+    env = Environment()
+    server_host, client_host, medium = make_lan(
+        env,
+        NetworkParams.vkernel(),
+        error_model=BernoulliErrors(error_p, seed=seed) if error_p else None,
+        names=("server", "client"),
+    )
+    server_kernel = VKernel(env, server_host, kernel_id=1)
+    client_kernel = VKernel(env, client_host, kernel_id=2)
+
+    trace = make_trace(n_files=12, n_requests=n_requests, seed=seed)
+    rng = random.Random(seed)
+    files = {
+        name: bytes(rng.randrange(256) for _ in range(min(size, 96 * 1024)))
+        for name, size in trace.files.items()
+    }
+    server = FileServer(server_kernel, files=files)
+    client = FileClient(client_kernel, server.ref)
+
+    stats = {"reads": 0, "writes": 0, "bytes": 0, "latencies": []}
+
+    def workload():
+        for request in trace.requests:
+            start = env.now
+            if request.op == "read":
+                data = yield from client.read_file(
+                    request.filename, len(files[request.filename])
+                )
+                assert data == server.files[request.filename]
+                stats["reads"] += 1
+            else:
+                payload = files[request.filename]
+                yield from client.write_file(request.filename, payload)
+                stats["writes"] += 1
+            stats["bytes"] += len(files[request.filename])
+            stats["latencies"].append(env.now - start)
+
+    env.run(env.process(workload()))
+    return env.now, stats, medium
+
+
+def main() -> None:
+    print("V-kernel file server replaying a read-mostly trace "
+          "(12 files, Zipf popularity)\n")
+    for error_p, label in ((0.0, "error-free network"),
+                           (1e-4, "interface-grade errors (1e-4)"),
+                           (1e-2, "pathological errors (1e-2)")):
+        elapsed, stats, medium = replay(error_p)
+        latencies = stats["latencies"]
+        mean_ms = sum(latencies) / len(latencies) * 1e3
+        worst_ms = max(latencies) * 1e3
+        goodput = stats["bytes"] * 8 / elapsed / 1e6
+        print(f"  {label}:")
+        print(f"    {stats['reads']} reads + {stats['writes']} writes, "
+              f"{stats['bytes'] / 1024:.0f} KB moved in {elapsed:.2f} s")
+        print(f"    per-op latency mean {mean_ms:.1f} ms, worst {worst_ms:.1f} ms; "
+              f"goodput {goodput:.2f} Mb/s")
+        print(f"    frames lost on the wire: {medium.frames_dropped}\n")
+    print("Every byte arrived intact in all three runs — the go-back-n blast\n"
+          "retransmission repairs interface-grade loss with barely visible cost.")
+
+
+if __name__ == "__main__":
+    main()

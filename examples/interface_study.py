@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Network-interface architecture study (paper §2.1.3's hardware aside).
+
+Four interface designs for the same 64 KB blast:
+
+1. the measured 3-Com single-buffer board (copy, then transmit);
+2. a double-buffered board (copy overlaps transmission — Figure 3.d);
+3. a DMA board with a fast on-board processor (host CPU freed,
+   elapsed time unchanged);
+4. a DMA board with a slow on-board processor (the paper's Excelan
+   experience: the 8088's copy is slower than the host 68000's).
+
+Run:  python examples/interface_study.py
+"""
+
+from repro.sim import Environment
+from repro.simnet import (
+    DmaInterface,
+    NetworkParams,
+    TraceRecorder,
+    make_lan,
+)
+from repro.simnet.params import CopyCostModel
+from repro.core import BlastTransfer
+
+DATA = bytes(64 * 1024)
+
+
+def run_config(label, params, interface_cls=None, **iface_kwargs):
+    env = Environment()
+    trace = TraceRecorder()
+    kwargs = {"interface_cls": interface_cls} if interface_cls else {}
+    kwargs.update(iface_kwargs)
+    sender, receiver, _ = make_lan(env, params, trace=trace, **kwargs)
+    transfer = BlastTransfer(env, sender, receiver, DATA)
+    env.run(transfer.launch())
+    result = transfer.result()
+    assert result.data_intact
+    host_cpu_ms = 0.0
+    if interface_cls is not DmaInterface:
+        host_cpu_ms = trace.busy_time("sender") * 1e3
+    print(f"  {label:<34s} {result.elapsed_s * 1e3:7.2f} ms elapsed, "
+          f"host CPU busy {host_cpu_ms:6.1f} ms")
+    return result.elapsed_s
+
+
+def main() -> None:
+    print("64 KB blast under four interface architectures\n")
+    base = NetworkParams.standalone()
+    single = run_config("3-Com single buffer (measured)", base)
+    double = run_config("double buffered", base.with_double_buffering())
+    run_config("DMA, fast on-board copy", base, interface_cls=DmaInterface)
+    slow_copy = CopyCostModel(setup_s=0.2e-3, bytes_per_second=400_000)
+    run_config(
+        "DMA, slow 8088-class copy", base,
+        interface_cls=DmaInterface, dma_copy_model=slow_copy,
+    )
+    print(f"\ndouble buffering speedup: {single / double:.2f}x "
+          "(bounded by (C+T)/C = "
+          f"{(base.copy_data_s + base.transmit_data_s) / base.copy_data_s:.2f}x)")
+    print("DMA does not change elapsed time (the copy still happens, just "
+          "elsewhere) —\nand a slow DMA processor makes things worse, exactly "
+          "the paper's conclusion\nthat 'memory and bus bandwidth are the "
+          "critical factors'.")
+
+
+if __name__ == "__main__":
+    main()

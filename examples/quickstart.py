@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the three transfer protocols on a simulated LAN.
+
+Reproduces the paper's headline result in a dozen lines: on a local
+network where processor copies dominate, a blast protocol moves 64 KB
+about twice as fast as stop-and-wait, with sliding window close behind.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NetworkParams, TraceRecorder, run_transfer
+from repro.analysis import network_utilization
+
+DATA = bytes(64 * 1024)  # 64 KB, the paper's flagship transfer size
+
+
+def main() -> None:
+    params = NetworkParams.standalone()  # SUN + 3-Com + 10 Mb/s Ethernet
+
+    print("64 KB transfer on a simulated 10 Mb/s LAN")
+    print(f"(C = {params.copy_data_s * 1e3:.2f} ms/packet copy, "
+          f"T = {params.transmit_data_s * 1e3:.2f} ms/packet wire time)\n")
+
+    results = {}
+    for protocol in ("stop_and_wait", "sliding_window", "blast"):
+        result = run_transfer(protocol, DATA, params=params)
+        assert result.data_intact
+        results[protocol] = result
+        print(f"  {protocol:<15s} {result.elapsed_s * 1e3:7.2f} ms "
+              f"({result.throughput_bps / 1e6:5.2f} Mb/s goodput)")
+
+    ratio = results["stop_and_wait"].elapsed_s / results["blast"].elapsed_s
+    print(f"\nstop-and-wait / blast = {ratio:.2f}x  "
+          "(the paper: 'about twice as much time')")
+    print(f"wire utilization of the blast: "
+          f"{network_utilization(64, params):.0%}  (the paper: 38%)")
+
+    # Why: watch the copies overlap.  Three packets, ASCII timeline.
+    print("\nTimeline of a 3-packet blast ('#' = processor copying, "
+          "'=' = frame on the wire):\n")
+    trace = TraceRecorder()
+    run_transfer("blast", bytes(3 * 1024),
+                 params=NetworkParams.standalone(propagation_delay_s=0.0),
+                 trace=trace)
+    print(trace.render_ascii(width=68))
+    print("\nThe receiver's copy-out of packet k runs in parallel with the "
+          "sender's\ncopy-in of packet k+1 — that overlap is the whole result.")
+
+
+if __name__ == "__main__":
+    main()

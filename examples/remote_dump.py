@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Remote file-system dump: multiple blasts for very large transfers.
+
+The paper (§3.1.3): "as the size of the data transfer increases, errors
+are more likely and retransmission becomes more costly.  For such very
+large sizes, we suggest the use of multiple blasts."  This example dumps
+4 MB across the simulated LAN under interface-grade loss, sweeping the
+per-blast chunk size, and shows the trade-off: tiny chunks waste ack
+exchanges, one giant blast wastes retransmission — with the crude
+full-retransmission strategy the sweet spot is in between, while
+go-back-n barely cares.
+
+Run:  python examples/remote_dump.py
+"""
+
+from repro import BernoulliErrors, NetworkParams, run_transfer
+
+DUMP = bytes(4 * 1024 * 1024)  # 4 MB = 4096 packets
+PN = 1e-3                       # a full-speed-interfaces kind of day
+
+
+def sweep(strategy: str) -> None:
+    print(f"  strategy = {strategy}")
+    for blast_packets in (16, 64, 256, 1024, 4096):
+        result = run_transfer(
+            "multiblast",
+            DUMP,
+            params=NetworkParams.standalone(),
+            blast_packets=blast_packets,
+            strategy=strategy,
+            error_model=BernoulliErrors(PN, seed=blast_packets),
+        )
+        assert result.data_intact
+        n_blasts = (4096 + blast_packets - 1) // blast_packets
+        print(f"    {blast_packets:5d} packets/blast ({n_blasts:4d} blasts): "
+              f"{result.elapsed_s:6.2f} s, "
+              f"{result.stats.data_frames_sent:5d} data frames, "
+              f"goodput {result.goodput_fraction:.2f}")
+
+
+def main() -> None:
+    print(f"Dumping {len(DUMP) // (1024 * 1024)} MB over the simulated LAN, "
+          f"p_n = {PN}\n")
+    sweep("full_nak")
+    print()
+    sweep("gobackn")
+    from repro.analysis import optimal_blast_size
+
+    b_opt, t_opt = optimal_blast_size(4096, PN, max_blast=1024)
+    print(f"\nClosed-form optimum for full retransmission at p_n={PN}: "
+          f"{b_opt} packets/blast (E[T] = {t_opt:.2f} s).")
+    print("With full retransmission, chunking is what keeps waste bounded "
+          "(the paper's\nsuggestion); with go-back-n the protocol itself "
+          "already limits the damage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A working file service on real UDP sockets.
+
+The paper's V-kernel workflow — small request message, then the file
+body as one blast — on an actual transport: a server thread holding an
+in-memory store, a client reading and writing through lossy sockets.
+
+Run:  python examples/udp_file_service.py
+"""
+
+import threading
+import time
+
+from repro.simnet import BernoulliErrors
+from repro.udpnet import UdpFileClient, UdpFileServer
+
+
+def main() -> None:
+    files = {
+        "README": b"Files move as blasts; requests as tiny datagrams.\n",
+        "big.dat": bytes(i % 251 for i in range(128 * 1024)),
+    }
+    server = UdpFileServer(files=files)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.address
+    print(f"file server on {host}:{port} with {len(files)} files\n")
+
+    # A clean client first.
+    client = UdpFileClient(server.address)
+    print("listing:", client.list_files())
+    print("stat big.dat:", client.stat("big.dat"), "bytes")
+    start = time.monotonic()
+    data = client.read_file("big.dat")
+    elapsed = time.monotonic() - start
+    print(f"read big.dat: {len(data)} bytes in {elapsed * 1e3:.1f} ms "
+          f"(intact={data == files['big.dat']})")
+
+    payload = b"uploaded through the blast protocol\n" * 800
+    start = time.monotonic()
+    client.write_file("upload.dat", payload)
+    print(f"write upload.dat: {len(payload)} bytes in "
+          f"{(time.monotonic() - start) * 1e3:.1f} ms")
+    client.close()
+
+    # Now with 5% datagram loss injected at the client: the lossy upload
+    # pushes ~130 datagrams through the dropper and repairs every loss.
+    lossy = UdpFileClient(server.address,
+                          error_model=BernoulliErrors(0.05, seed=1))
+    start = time.monotonic()
+    lossy.write_file("lossy.dat", files["big.dat"])
+    elapsed = time.monotonic() - start
+    data = lossy.read_file("lossy.dat")
+    print(f"\nwith 5% loss injected: upload+readback intact="
+          f"{data == files['big.dat']} "
+          f"(upload {elapsed * 1e3:.1f} ms, "
+          f"{lossy.sock.datagrams_dropped} datagrams dropped on purpose)")
+    lossy.close()
+
+    server.stop()
+    thread.join(timeout=5)
+    server.close()
+    print("\nthe control plane retries lost requests; the data plane repairs "
+          "lost frames\nwith go-back-n — the same machinery the simulator runs.")
+
+
+if __name__ == "__main__":
+    main()

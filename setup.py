@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This shim lets ``pip install -e . --no-use-pep517`` work offline; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

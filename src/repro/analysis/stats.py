@@ -1,0 +1,156 @@
+"""Statistics helpers for stochastic experiments.
+
+The paper's §3.2 argument is ultimately about *predictability*: a file
+server whose 64 KB reads usually take 173 ms but occasionally take
+seconds is worse than its mean suggests.  These helpers turn raw elapsed
+samples into the quantities that argument needs — confidence intervals
+on means, percentiles, and tail ratios — without any dependency beyond
+the standard library.
+
+Confidence intervals use the normal approximation (z-quantiles via
+``statistics.NormalDist``); with the hundreds-to-thousands of trials the
+benches run, the t-correction is negligible.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "StatsSummary",
+    "summarize",
+    "mean_ci",
+    "percentile",
+    "tail_ratio",
+    "wilson_interval",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The right tool for estimating a loss *rate* from observed drops —
+    well-behaved even when the count is tiny (exactly the situation when
+    measuring a 1e-5 Ethernet error rate, as Shoch & Hupp did).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    z = statistics.NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # Analytically, k=0 gives low=0 and k=n gives high=1; clamp away the
+    # floating-point residue so the bounds are exact at the edges.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return low, high
+
+
+def mean_ci(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Mean and its confidence interval: ``(mean, low, high)``.
+
+    Normal approximation; for a single sample the interval collapses to
+    the point.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = statistics.fmean(samples)
+    if len(samples) == 1:
+        return mean, mean, mean
+    stderr = statistics.stdev(samples) / math.sqrt(len(samples))
+    z = statistics.NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    return mean, mean - z * stderr, mean + z * stderr
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 <= q <= 100), linear interpolation."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    # Stable form: exact when both endpoints are equal, and always within
+    # [ordered[low], ordered[high]].
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+def tail_ratio(samples: Sequence[float], q: float = 99.0) -> float:
+    """Tail latency amplification: ``p_q / median``.
+
+    The paper's variance argument in one number — full retransmission
+    without NAK has a huge tail ratio, go-back-n a small one.
+    """
+    median = percentile(samples, 50.0)
+    if median == 0.0:
+        return float("inf") if percentile(samples, q) > 0 else 1.0
+    return percentile(samples, q) / median
+
+
+@dataclass(frozen=True)
+class StatsSummary:
+    """Full descriptive summary of one sample set."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @property
+    def tail_ratio_99(self) -> float:
+        """p99 over median."""
+        if self.p50 == 0.0:
+            return float("inf") if self.p99 > 0 else 1.0
+        return self.p99 / self.p50
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> StatsSummary:
+    """Build a :class:`StatsSummary` from raw samples."""
+    mean, low, high = mean_ci(samples, confidence)
+    return StatsSummary(
+        n=len(samples),
+        mean=mean,
+        std=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        ci_low=low,
+        ci_high=high,
+        p50=percentile(samples, 50),
+        p90=percentile(samples, 90),
+        p99=percentile(samples, 99),
+        minimum=min(samples),
+        maximum=max(samples),
+    )

@@ -1,0 +1,122 @@
+"""Standard deviation of blast transfer times (paper §3.2).
+
+Under low error rates the *expected* time of every blast variant is close
+to the error-free time; what distinguishes retransmission strategies is
+the *spread*.  With attempts failing independently with probability
+``p_c``, the number of failed attempts F is geometric
+(``P[F = k] = p_c^k (1 - p_c)``, ``Var[F] = p_c / (1-p_c)^2``) and the
+elapsed time is ``T0 + F x cost_per_failure``, so
+
+    sigma = cost_per_failure x sqrt(p_c) / (1 - p_c)
+
+The strategies differ in ``cost_per_failure``:
+
+- **full retransmission, no NAK**: a failed attempt is only discovered by
+  the timer — cost ``T0(D) + T_r``, so sigma scales with the
+  retransmission interval;
+- **full retransmission with NAK**: for ``p_n << 1`` and ``D >> 1`` a
+  failure is almost surely a lost *data* packet, the last packet still
+  arrives, and the NAK comes back where the ack would have — cost
+  ``~ T0(D)``, independent of ``T_r`` (the paper's headline point);
+- **partial (go-back-n) / selective**: retransmission rounds shrink, so
+  the variance falls further; these are evaluated by Monte Carlo
+  (:mod:`repro.analysis.montecarlo`), exactly as the paper did.
+
+Note: the scanned paper's printed sigma formulas are OCR-garbled; the
+derivation above follows the paper's stated model (independent failures,
+geometric attempts) and is validated against Monte Carlo simulation in
+``tests/analysis/test_variance.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .expected_time import p_fail_blast
+
+__all__ = [
+    "geometric_failure_std",
+    "stddev_full_no_nak",
+    "stddev_full_with_nak",
+    "stddev_full_with_nak_exact",
+]
+
+
+def geometric_failure_std(p_c: float, cost_per_failure: float) -> float:
+    """sigma of ``T0 + F x cost`` with F geometric(p_c failures)."""
+    if not 0.0 <= p_c <= 1.0:
+        raise ValueError(f"p_c must be in [0, 1], got {p_c}")
+    if cost_per_failure < 0:
+        raise ValueError("cost_per_failure must be >= 0")
+    if p_c == 1.0:
+        return math.inf
+    return cost_per_failure * math.sqrt(p_c) / (1.0 - p_c)
+
+
+def stddev_full_no_nak(
+    d_packets: int, t0_full: float, t_retry: float, p_n: float
+) -> float:
+    """sigma for blast, full retransmission, timer-only detection.
+
+    Every failed attempt costs ``T0(D) + T_r``; with realistic T_r this
+    produces the "unacceptable variations" of paper Figure 6.
+    """
+    p_c = p_fail_blast(p_n, d_packets)
+    return geometric_failure_std(p_c, t0_full + t_retry)
+
+
+def stddev_full_with_nak(d_packets: int, t0_full: float, p_n: float) -> float:
+    """sigma for blast, full retransmission with negative acknowledgement
+    — the *paper's first-order approximation*.
+
+    It treats every failed attempt as costing ``~ T0(D)`` (the NAK arrives
+    where the positive ack would have), which makes sigma independent of
+    the retransmission interval.  The approximation drops the rare timer
+    fallback (last packet or reply lost, probability ``~ 2 p_n`` per
+    round), so it understates sigma when ``T_r >> T0(D)``; use
+    :func:`stddev_full_with_nak_exact` when that matters.
+    """
+    p_c = p_fail_blast(p_n, d_packets)
+    return geometric_failure_std(p_c, t0_full)
+
+
+def stddev_full_with_nak_exact(
+    d_packets: int, t0_full: float, t_retry: float, p_n: float
+) -> float:
+    """Exact sigma for blast with full retransmission and NAK.
+
+    Per attempt there are three outcomes:
+
+    - success, probability ``(1-p_n)^(D+1)``;
+    - NAK failure (last packet and reply delivered, some earlier data
+      packet lost), probability ``(1-p_n)^2 (1 - (1-p_n)^(D-1))``, cost
+      ``T0(D)``;
+    - timer failure (last packet or the reply lost), probability
+      ``1 - (1-p_n)^2``, cost ``T0(D) + T_r``.
+
+    Elapsed time is ``T0 + sum of F iid failure costs`` with F geometric,
+    so by the compound-sum variance identity
+
+        Var[T] = E[F] Var[X] + Var[F] E[X]^2.
+
+    This is validated against Monte Carlo in the test suite and reduces
+    to the paper's approximation as the timer-failure weight goes to 0.
+    """
+    if d_packets < 1:
+        raise ValueError(f"d_packets must be >= 1, got {d_packets}")
+    if t_retry < 0 or t0_full < 0:
+        raise ValueError("times must be >= 0")
+    p_c = p_fail_blast(p_n, d_packets)
+    if p_c == 0.0:
+        return 0.0
+    if p_c == 1.0:
+        return math.inf
+    q_ok2 = (1.0 - p_n) ** 2
+    p_timer = 1.0 - q_ok2
+    # Conditional probability that a failed attempt was a timer failure.
+    q = p_timer / p_c
+    mean_x = t0_full + q * t_retry
+    var_x = q * (1.0 - q) * t_retry**2
+    mean_f = p_c / (1.0 - p_c)
+    var_f = p_c / (1.0 - p_c) ** 2
+    return math.sqrt(mean_f * var_x + var_f * mean_x**2)

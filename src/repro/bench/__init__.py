@@ -1,0 +1,34 @@
+"""Benchmark harness: experiment definitions, paper expectations, and
+ASCII table/series rendering."""
+
+from . import expectations
+from .experiments import (
+    figure1_protocol_sketch,
+    figure3_timelines,
+    figure4_protocol_comparison,
+    figure5_expected_time,
+    figure6_stddev,
+    table1_standalone,
+    table2_breakdown,
+    table3_vkernel,
+)
+from .registry import EXPERIMENTS, regenerate_all, render_experiment
+from .tables import ExperimentSeries, ExperimentTable, format_ms
+
+__all__ = [
+    "expectations",
+    "table1_standalone",
+    "table2_breakdown",
+    "table3_vkernel",
+    "figure1_protocol_sketch",
+    "figure3_timelines",
+    "figure4_protocol_comparison",
+    "figure5_expected_time",
+    "figure6_stddev",
+    "EXPERIMENTS",
+    "render_experiment",
+    "regenerate_all",
+    "ExperimentTable",
+    "ExperimentSeries",
+    "format_ms",
+]

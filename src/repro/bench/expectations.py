@@ -1,0 +1,74 @@
+"""Every number the paper actually prints, as named constants.
+
+The scanned tables are partly OCR-garbled, so this module records only
+values that are *legible in the text* (Table 2's component breakdown,
+the Figure 5/6 parameters, the quoted anchors) plus the values the
+paper's own formulas imply for the garbled cells.  EXPERIMENTS.md
+reports ours-vs-paper for each.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_COMPONENTS_MS",
+    "TABLE2_ACCOUNTED_TOTAL_MS",
+    "TABLE2_OBSERVED_TOTAL_MS",
+    "VKERNEL_T0_1_MS",
+    "VKERNEL_T0_64_MS",
+    "FIGURE5_D",
+    "NETWORK_ERROR_RATE",
+    "INTERFACE_ERROR_RATE",
+    "PARC_3MB_ERROR_RATE",
+    "UTILIZATION_64K_BLAST",
+    "INTRO_WIRE_ONLY_US",
+    "SAW_OVER_BLAST_RATIO_RANGE",
+    "COPY_FRACTION_1_PACKET",
+]
+
+#: Table 2 rows, milliseconds, in paper order.
+TABLE2_COMPONENTS_MS = (
+    ("Copy data into sender's interface", 1.35),
+    ("Transmit data", 0.82),
+    ("Copy data out of receiver's interface", 1.35),
+    ("Copy ack into receiver's interface", 0.17),
+    ("Transmit ack", 0.05),
+    ("Copy ack out of sender's interface", 0.17),
+)
+#: Sum of the components ("Total 3.91 ms").
+TABLE2_ACCOUNTED_TOTAL_MS = 3.91
+#: "Observed elapsed time 4.08 ms."
+TABLE2_OBSERVED_TOTAL_MS = 4.08
+
+#: Figure 5 parameters: "D = 64, T0(1) = 5.9 msec and T0(D) = 173 msec".
+VKERNEL_T0_1_MS = 5.9
+VKERNEL_T0_64_MS = 173.0
+FIGURE5_D = 64
+
+#: "Our measurements ... indicate an error rate of approximately 1 in
+#: 100,000 under normal circumstances."
+NETWORK_ERROR_RATE = 1e-5
+#: "...the error rates rise an order of magnitude, to approximately 1 in
+#: 10,000" (attributed to the 3-Com interfaces at full speed).
+INTERFACE_ERROR_RATE = 1e-4
+#: Shoch & Hupp on the PARC 3 Mb/s Ethernet: 1 in 200,000.
+PARC_3MB_ERROR_RATE = 5e-6
+
+#: "for the 64 kilobyte transfer ... the network utilization is only 38
+#: percent."
+UTILIZATION_64K_BLAST = 0.38
+
+#: §2.1 wire-only arithmetic for 64 KB (microseconds):
+#: stop-and-wait 57024, sliding window 55764, blast 52551.
+INTRO_WIRE_ONLY_US = {
+    "stop_and_wait": 57024,
+    "sliding_window": 55764,
+    "blast": 52551,
+}
+
+#: "the stop-and-wait protocol takes about twice as much time as either
+#: the sliding window or the blast protocol."
+SAW_OVER_BLAST_RATIO_RANGE = (1.6, 2.0)
+
+#: "of the 4.1 milliseconds total elapsed time, only 21 percent is
+#: network transmission time, while 75 percent is copying overhead."
+COPY_FRACTION_1_PACKET = 0.75

@@ -1,0 +1,393 @@
+"""Experiment definitions — one function per paper table/figure.
+
+Each function *regenerates* its table or figure from the library (DES
+engines, closed forms, Monte Carlo) and returns a structured
+:class:`~repro.bench.tables.ExperimentTable` /
+:class:`~repro.bench.tables.ExperimentSeries`.  The pytest-benchmark
+modules under ``benchmarks/`` call these, assert the paper's qualitative
+shape, and time them; EXPERIMENTS.md records the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis import (
+    expected_time_blast,
+    expected_time_saw,
+    network_utilization,
+    run_trials,
+    stddev_full_no_nak,
+    stddev_full_with_nak_exact,
+    t_blast,
+    t_double_buffered,
+    t_single_exchange,
+    t_sliding_window,
+    t_stop_and_wait,
+)
+from ..core import run_transfer
+from ..simnet import Activity, NetworkParams, TraceRecorder
+from ..workloads import PAPER_TABLE_SIZES
+from .tables import ExperimentSeries, ExperimentTable, format_ms
+
+__all__ = [
+    "table1_standalone",
+    "table2_breakdown",
+    "table3_vkernel",
+    "figure1_protocol_sketch",
+    "figure3_timelines",
+    "figure4_protocol_comparison",
+    "figure5_expected_time",
+    "figure6_stddev",
+]
+
+PACKET = 1024
+
+
+def _n_packets(size_bytes: int) -> int:
+    return max(1, (size_bytes + PACKET - 1) // PACKET)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — standalone error-free measurements
+# ---------------------------------------------------------------------------
+
+def table1_standalone(
+    sizes: Sequence[int] = PAPER_TABLE_SIZES,
+    params: Optional[NetworkParams] = None,
+) -> ExperimentTable:
+    """Standalone error-free elapsed times, DES-measured (paper Table 1).
+
+    Columns: size, stop-and-wait, sliding window, blast (ms), plus the
+    closed-form prediction for blast as a cross-check column.
+    """
+    params = params if params is not None else NetworkParams.standalone()
+    table = ExperimentTable(
+        "Table 1: Standalone measurements of error-free transmissions (ms)",
+        ["size", "SAW", "SW", "B", "B formula"],
+        notes=[
+            "DES calibrated to the paper's Table 2 constants",
+            "paper's own Table 1 cells are OCR-garbled; anchors: "
+            "1 KB exchange = 4.1 ms, SAW ~ 2x B at 64 KB",
+        ],
+    )
+    for size in sizes:
+        n = _n_packets(size)
+        data = bytes(size)
+        saw = run_transfer("stop_and_wait", data, params=params).elapsed_s
+        sw = run_transfer("sliding_window", data, params=params).elapsed_s
+        blast = run_transfer("blast", data, params=params).elapsed_s
+        table.add_row(
+            f"{size // 1024} KB",
+            format_ms(saw),
+            format_ms(sw),
+            format_ms(blast),
+            format_ms(t_blast(n, params)),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — component breakdown of a 1-packet exchange
+# ---------------------------------------------------------------------------
+
+def table2_breakdown(observed: bool = True) -> ExperimentTable:
+    """Cost breakdown of a 1 KB reliable exchange (paper Table 2).
+
+    Component rows come from the simulation *trace* of a real 1-packet
+    stop-and-wait run, not from the input constants — so this checks the
+    engine charges exactly what the paper accounts.
+    """
+    params = NetworkParams.standalone(propagation_delay_s=0.0)
+    trace = TraceRecorder()
+    result = run_transfer("stop_and_wait", bytes(PACKET), params=params, trace=trace)
+
+    def one(kind: str, actor: str) -> float:
+        spans = trace.by_kind(kind, actor)
+        return sum(s.duration for s in spans)
+
+    components = [
+        ("Copy data into sender's interface", one(Activity.COPY_IN, "sender")),
+        ("Transmit data",
+         sum(s.duration for s in trace.by_kind(Activity.TRANSMIT, "sender"))),
+        ("Copy data out of receiver's interface", one(Activity.COPY_OUT, "receiver")),
+        ("Copy ack into receiver's interface", one(Activity.COPY_IN, "receiver")),
+        ("Transmit ack",
+         sum(s.duration for s in trace.by_kind(Activity.TRANSMIT, "receiver"))),
+        ("Copy ack out of sender's interface", one(Activity.COPY_OUT, "sender")),
+    ]
+    table = ExperimentTable(
+        "Table 2: Breakdown of transmission cost over its components",
+        ["operation", "time (ms)"],
+    )
+    for name, seconds in components:
+        table.add_row(name, format_ms(seconds))
+    table.add_row("Total", format_ms(result.elapsed_s))
+    if observed:
+        observed_params = NetworkParams.standalone(
+            observed=True, propagation_delay_s=0.0
+        )
+        obs = run_transfer("stop_and_wait", bytes(PACKET), params=observed_params)
+        table.add_row("Observed elapsed time", format_ms(obs.elapsed_s))
+        table.notes.append(
+            "observed row includes the 0.17 ms device-latency residual "
+            "the paper attributes to 'network and device latency'"
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — V kernel MoveTo measurements
+# ---------------------------------------------------------------------------
+
+def table3_vkernel(
+    sizes: Sequence[int] = PAPER_TABLE_SIZES,
+) -> ExperimentTable:
+    """V-kernel MoveTo elapsed times (paper Table 3).
+
+    Runs real MoveTo operations through the kernel layer (IPC + blast
+    engine with kernel copy overheads), not just the formulas.
+    """
+    from ..sim import Environment
+    from ..simnet import make_lan
+    from ..vkernel import VKernel
+
+    table = ExperimentTable(
+        "Table 3: V kernel MoveTo measurements (ms)",
+        ["size", "MoveTo", "blast formula"],
+        notes=[
+            "anchors quoted in the paper: T0(1) = 5.9 ms, T0(64) = 173 ms",
+            "kernel constants C' = 1.83 ms, Ca' = 0.67 ms (paper §2.2)",
+        ],
+    )
+    params = NetworkParams.vkernel()
+    for size in sizes:
+        env = Environment()
+        host_a, host_b, _ = make_lan(env, params)
+        ka = VKernel(env, host_a, kernel_id=1)
+        kb = VKernel(env, host_b, kernel_id=2)
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        data = bytes(size)
+        dst.allocate("buf", size)
+
+        def body():
+            start = env.now
+            yield from ka.move_to(src, dst.ref, "buf", data)
+            return env.now - start
+
+        elapsed = env.run(env.process(body()))
+        table.add_row(
+            f"{size // 1024} KB",
+            format_ms(elapsed),
+            format_ms(t_blast(_n_packets(size), params)),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Figure 3 — protocol timelines
+# ---------------------------------------------------------------------------
+
+def figure1_protocol_sketch(n_packets: int = 3) -> str:
+    """ASCII message-sequence timelines of the three protocols (Figure 1/3)."""
+    lines = []
+    for protocol in ("stop_and_wait", "blast", "sliding_window"):
+        trace = TraceRecorder()
+        run_transfer(
+            protocol,
+            bytes(n_packets * PACKET),
+            params=NetworkParams.standalone(propagation_delay_s=0.0),
+            trace=trace,
+        )
+        lines.append(f"--- {protocol} (N={n_packets}) ---")
+        lines.append(trace.render_ascii(width=68))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure3_timelines(n_packets: int = 3) -> ExperimentTable:
+    """Quantified Figure 3: copy overlap between the two processors.
+
+    The figure's visual claim in numbers — stop-and-wait never overlaps,
+    blast and sliding window overlap nearly all interior copies.
+    """
+    table = ExperimentTable(
+        "Figure 3: processor copy overlap (ms, N=%d)" % n_packets,
+        ["protocol", "elapsed", "copy overlap", "overlap/copy-time"],
+    )
+    params = NetworkParams.standalone(propagation_delay_s=0.0)
+    for protocol in ("stop_and_wait", "blast", "sliding_window"):
+        trace = TraceRecorder()
+        result = run_transfer(
+            protocol, bytes(n_packets * PACKET), params=params, trace=trace
+        )
+        overlap = trace.copy_overlap("sender", "receiver")
+        busy = trace.busy_time("sender")
+        table.add_row(
+            protocol,
+            format_ms(result.elapsed_s),
+            format_ms(overlap),
+            f"{overlap / busy:.2f}",
+        )
+    # Double-buffered blast (Figure 3.d).
+    trace = TraceRecorder()
+    result = run_transfer(
+        "blast",
+        bytes(n_packets * PACKET),
+        params=params.with_double_buffering(),
+        trace=trace,
+    )
+    table.add_row(
+        "blast (double buffered)",
+        format_ms(result.elapsed_s),
+        format_ms(trace.copy_overlap("sender", "receiver")),
+        "-",
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — protocol comparison vs N
+# ---------------------------------------------------------------------------
+
+def figure4_protocol_comparison(
+    n_values: Sequence[int] = (1, 2, 4, 8, 16, 32, 48, 64),
+    params: Optional[NetworkParams] = None,
+    des_check: bool = True,
+) -> ExperimentSeries:
+    """Elapsed time vs N for the four variants (paper Figure 4).
+
+    Closed forms on the full grid; when ``des_check`` is on, the DES is
+    run at every grid point too and reported as separate series.
+    """
+    params = params if params is not None else NetworkParams.standalone()
+    series = ExperimentSeries(
+        "Figure 4: comparison of different protocols (ms)",
+        x_label="N (1 KB packets)",
+        x_values=list(n_values),
+        y_label="elapsed (ms)",
+        notes=[f"utilization at N=64 (blast): "
+               f"{network_utilization(64, params):.2f}"],
+    )
+    series.add_series("SAW", [t_stop_and_wait(n, params) * 1e3 for n in n_values])
+    series.add_series("SW", [t_sliding_window(n, params) * 1e3 for n in n_values])
+    series.add_series("B", [t_blast(n, params) * 1e3 for n in n_values])
+    series.add_series(
+        "B dbuf", [t_double_buffered(n, params) * 1e3 for n in n_values]
+    )
+    if des_check:
+        dbuf_params = params.with_double_buffering()
+        for name, proto, run_params in (
+            ("SAW des", "stop_and_wait", params),
+            ("SW des", "sliding_window", params),
+            ("B des", "blast", params),
+            ("B dbuf des", "blast", dbuf_params),
+        ):
+            series.add_series(
+                name,
+                [
+                    run_transfer(proto, bytes(n * PACKET), params=run_params).elapsed_s
+                    * 1e3
+                    for n in n_values
+                ],
+            )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — expected time vs p_n
+# ---------------------------------------------------------------------------
+
+def figure5_expected_time(
+    pn_values: Sequence[float] = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1),
+    d_packets: int = 64,
+    params: Optional[NetworkParams] = None,
+) -> ExperimentSeries:
+    """Expected 64 KB transfer time vs loss rate (paper Figure 5).
+
+    Four curves, exactly the paper's: stop-and-wait with T_r = 10x and
+    100x T0(1); blast (full retransmission) with T_r = T0(D) and
+    10x T0(D).  Parameters are the kernel-level anchors (T0(1) = 5.9 ms,
+    T0(64) = 173 ms).
+    """
+    params = params if params is not None else NetworkParams.vkernel()
+    t0_1 = t_single_exchange(params)
+    t0_d = t_blast(d_packets, params)
+    series = ExperimentSeries(
+        f"Figure 5: expected time for {d_packets} KB transfers (ms)",
+        x_label="p_n",
+        x_values=list(pn_values),
+        y_label="E[T] (ms)",
+        notes=[
+            f"T0(1) = {t0_1 * 1e3:.1f} ms, T0(D) = {t0_d * 1e3:.0f} ms",
+            "operating region: p_n in [1e-5 (network), 1e-4 (interfaces)]",
+        ],
+    )
+    series.add_series(
+        "SAW Tr=10xT0(1)",
+        [expected_time_saw(d_packets, t0_1, 10 * t0_1, pn) * 1e3 for pn in pn_values],
+    )
+    series.add_series(
+        "SAW Tr=100xT0(1)",
+        [expected_time_saw(d_packets, t0_1, 100 * t0_1, pn) * 1e3 for pn in pn_values],
+    )
+    series.add_series(
+        "blast Tr=T0(D)",
+        [expected_time_blast(d_packets, t0_d, t0_d, pn) * 1e3 for pn in pn_values],
+    )
+    series.add_series(
+        "blast Tr=10xT0(D)",
+        [expected_time_blast(d_packets, t0_d, 10 * t0_d, pn) * 1e3 for pn in pn_values],
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — standard deviation vs p_n
+# ---------------------------------------------------------------------------
+
+def figure6_stddev(
+    pn_values: Sequence[float] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2),
+    d_packets: int = 64,
+    params: Optional[NetworkParams] = None,
+    n_trials: int = 4000,
+    seed: int = 0,
+) -> ExperimentSeries:
+    """Standard deviation of a 64 KB MoveTo vs loss rate (paper Figure 6).
+
+    Closed forms for the full-retransmission strategies, Monte Carlo for
+    partial (go-back-n) and selective — the same split the paper used.
+    """
+    params = params if params is not None else NetworkParams.vkernel()
+    t0_d = t_blast(d_packets, params)
+    tr = 10 * t0_d
+    series = ExperimentSeries(
+        f"Figure 6: {d_packets} KB MoveTo standard deviation (ms)",
+        x_label="p_n",
+        x_values=list(pn_values),
+        y_label="sigma (ms)",
+        notes=[f"T_r = 10 x T0(D) = {tr * 1e3:.0f} ms",
+               f"Monte Carlo: {n_trials} trials per point"],
+    )
+    series.add_series(
+        "full, no NAK",
+        [stddev_full_no_nak(d_packets, t0_d, tr, pn) * 1e3 for pn in pn_values],
+    )
+    series.add_series(
+        "full, NAK",
+        [
+            stddev_full_with_nak_exact(d_packets, t0_d, tr, pn) * 1e3
+            for pn in pn_values
+        ],
+    )
+    for strategy, label in (("gobackn", "partial (MC)"), ("selective", "selective (MC)")):
+        sigmas = []
+        for pn in pn_values:
+            summary = run_trials(
+                strategy, d_packets, pn, n_trials=n_trials, t_retry=tr,
+                params=params, seed=seed,
+            )
+            sigmas.append(summary.std_s * 1e3)
+        series.add_series(label, sigmas)
+    return series

@@ -1,0 +1,169 @@
+"""ASCII rendering of experiment tables and series.
+
+The benches print the same rows/series the paper reports; these helpers
+keep that output aligned and readable in test logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ExperimentTable", "ExperimentSeries", "format_ms"]
+
+
+def format_ms(seconds: float, digits: int = 2) -> str:
+    """Seconds -> fixed-point milliseconds string."""
+    return f"{seconds * 1e3:.{digits}f}"
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table: column names plus rows of stringifiable cells."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII."""
+        table = [[str(c) for c in self.columns]]
+        table.extend([str(cell) for cell in row] for row in self.rows)
+        widths = [max(len(row[i]) for row in table) for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        header, *body = table
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, by name."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class ExperimentSeries:
+    """A titled family of (x -> y) series sharing one x-grid."""
+
+    title: str
+    x_label: str
+    x_values: Sequence[float]
+    series: Dict[str, Sequence[float]] = field(default_factory=dict)
+    y_label: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Attach one named series (must match the x-grid length)."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, grid has {len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+
+    def render(self) -> str:
+        """Render as an aligned table of x vs every series."""
+        columns = [self.x_label] + list(self.series)
+        table = ExperimentTable(self.title, columns, notes=list(self.notes))
+        for i, x in enumerate(self.x_values):
+            cells: Tuple[object, ...] = (f"{x:g}",) + tuple(
+                f"{self.series[name][i]:.4g}" for name in self.series
+            )
+            table.add_row(*cells)
+        return table.render()
+
+    def at(self, name: str, x: float) -> float:
+        """The y value of ``name`` at grid point ``x`` (exact match)."""
+        index = list(self.x_values).index(x)
+        return self.series[name][index]
+
+    def render_plot(
+        self,
+        width: int = 70,
+        height: int = 20,
+        log_x: bool = False,
+        log_y: bool = False,
+    ) -> str:
+        """Render the series as an ASCII scatter/line plot.
+
+        Each series gets a marker character; log axes suit the paper's
+        Figure 5/6 (p_n spans decades).  Points that collide on the same
+        cell show the marker of the *last* series drawn, matching how
+        overlapping curves look in the printed figures.
+        """
+        import math
+
+        if not self.series:
+            return "(no series)"
+
+        def tx(value: float) -> float:
+            return math.log10(value) if log_x else value
+
+        def ty(value: float) -> float:
+            return math.log10(value) if log_y else value
+
+        xs = [tx(x) for x in self.x_values]
+        all_y = [
+            ty(y)
+            for values in self.series.values()
+            for y in values
+            if not log_y or y > 0
+        ]
+        if not all_y:
+            return "(no positive data for log axis)"
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(all_y), max(all_y)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * width for _ in range(height)]
+        markers = "*o+x#@%&"
+        legend = []
+        for index, (name, values) in enumerate(self.series.items()):
+            marker = markers[index % len(markers)]
+            legend.append(f"  {marker} {name}")
+            for x, y in zip(xs, values):
+                if log_y:
+                    if y <= 0:
+                        continue
+                    y = math.log10(y)
+                col = int((x - x_lo) / x_span * (width - 1))
+                row = int((y - y_lo) / y_span * (height - 1))
+                grid[height - 1 - row][col] = marker
+
+        def fmt(value: float, is_log: bool) -> str:
+            return f"{10 ** value:.3g}" if is_log else f"{value:g}"
+
+        lines = [self.title]
+        top_label = fmt(y_hi, log_y)
+        bottom_label = fmt(y_lo, log_y)
+        label_width = max(len(top_label), len(bottom_label))
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = top_label
+            elif row_index == height - 1:
+                label = bottom_label
+            else:
+                label = ""
+            lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+        lines.append(
+            f"{'':>{label_width}}  {fmt(x_lo, log_x)}"
+            f"{'':^{max(0, width - 12)}}{fmt(x_hi, log_x)}"
+        )
+        lines.append(f"{'':>{label_width}}  x: {self.x_label}"
+                     + (f", y: {self.y_label}" if self.y_label else ""))
+        lines.extend(legend)
+        return "\n".join(lines)

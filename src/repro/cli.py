@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compare   run all protocols on one transfer size, print the comparison
+table     regenerate a paper table (1, 2 or 3)
+figure    regenerate a paper figure (3, 4, 5 or 6)
+timeline  ASCII timeline of one transfer (the Figure 3 view)
+udp       real-socket transfer over UDP loopback (recv / send)
+regen     regenerate every paper table/figure into a directory
+moveto    V-kernel MoveTo demonstration
+
+Examples
+--------
+::
+
+    python -m repro compare --size 65536
+    python -m repro table 2
+    python -m repro figure 5
+    python -m repro timeline --protocol blast --packets 3
+    python -m repro udp recv --port 47000
+    python -m repro udp send 127.0.0.1:47000 --size 65536 --loss 0.05
+    python -m repro moveto --size 65536 --error-p 1e-4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_size(text: str) -> int:
+    """Parse '65536', '64K', '4M' into bytes."""
+    text = text.strip().upper()
+    factor = 1
+    if text.endswith("K"):
+        factor, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        factor, text = 1024 * 1024, text[:-1]
+    try:
+        value = int(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return value
+
+
+def _params(name: str):
+    from .simnet import NetworkParams
+
+    factories = {
+        "standalone": NetworkParams.standalone,
+        "observed": lambda: NetworkParams.standalone(observed=True),
+        "vkernel": NetworkParams.vkernel,
+        "dbuf": lambda: NetworkParams.standalone().with_double_buffering(),
+    }
+    return factories[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zwaenepoel 1985 large-transfer protocols: experiments and transports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run all protocols on one size")
+    compare.add_argument("--size", type=_parse_size, default=64 * 1024)
+    compare.add_argument(
+        "--params", choices=["standalone", "observed", "vkernel", "dbuf"],
+        default="standalone",
+    )
+    compare.add_argument("--error-p", type=float, default=0.0)
+    compare.add_argument("--runs", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 2, 3])
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=[3, 4, 5, 6])
+
+    timeline = sub.add_parser("timeline", help="ASCII timeline of a transfer")
+    timeline.add_argument(
+        "--protocol", choices=["stop_and_wait", "sliding_window", "blast"],
+        default="blast",
+    )
+    timeline.add_argument("--packets", type=int, default=3)
+    timeline.add_argument("--width", type=int, default=68)
+
+    udp = sub.add_parser("udp", help="real UDP transfer (loopback or LAN)")
+    udp_sub = udp.add_subparsers(dest="udp_command", required=True)
+    recv = udp_sub.add_parser("recv", help="receive one transfer")
+    recv.add_argument("--port", type=int, default=0)
+    recv.add_argument("--host", default="127.0.0.1")
+    recv.add_argument(
+        "--protocol", choices=["blast", "perpacket"], default="blast"
+    )
+    send = udp_sub.add_parser("send", help="send one transfer")
+    send.add_argument("destination", help="HOST:PORT of the receiver")
+    send.add_argument("--size", type=_parse_size, default=64 * 1024)
+    send.add_argument(
+        "--protocol", choices=["blast", "saw", "sw"], default="blast"
+    )
+    send.add_argument(
+        "--strategy",
+        choices=["full_no_nak", "full_nak", "gobackn", "selective"],
+        default="gobackn",
+    )
+    send.add_argument("--loss", type=float, default=0.0)
+    send.add_argument("--seed", type=int, default=0)
+
+    regen = sub.add_parser(
+        "regen", help="regenerate every paper table/figure into a directory"
+    )
+    regen.add_argument("--out", default="results")
+
+    moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
+    moveto.add_argument("--size", type=_parse_size, default=64 * 1024)
+    moveto.add_argument("--error-p", type=float, default=0.0)
+    moveto.add_argument(
+        "--strategy",
+        choices=["full_no_nak", "full_nak", "gobackn", "selective"],
+        default="gobackn",
+    )
+
+    return parser
+
+
+# -- command implementations ----------------------------------------------
+
+def _cmd_compare(args) -> int:
+    from .bench.tables import ExperimentTable, format_ms
+    from .core import run_many, run_transfer
+
+    params = _params(args.params)
+    table = ExperimentTable(
+        f"{args.size} bytes, params={args.params}, p_n={args.error_p}",
+        ["protocol", "mean (ms)", "std (ms)", "intact"],
+    )
+    data = bytes(args.size)
+    for protocol in ("stop_and_wait", "sliding_window", "blast"):
+        if args.runs == 1 and args.error_p == 0.0:
+            result = run_transfer(protocol, data, params=params)
+            table.add_row(protocol, format_ms(result.elapsed_s), "-",
+                          result.data_intact)
+        else:
+            summary = run_many(
+                protocol, data, error_p=args.error_p, n_runs=args.runs,
+                params=params, seed=args.seed,
+            )
+            table.add_row(protocol, format_ms(summary.mean_s),
+                          format_ms(summary.std_s), summary.all_intact)
+    print(table.render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .bench import table1_standalone, table2_breakdown, table3_vkernel
+
+    table = {1: table1_standalone, 2: table2_breakdown, 3: table3_vkernel}[
+        args.number
+    ]()
+    print(table.render())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .bench import (
+        figure3_timelines,
+        figure4_protocol_comparison,
+        figure5_expected_time,
+        figure6_stddev,
+    )
+
+    artifact = {
+        3: figure3_timelines,
+        4: figure4_protocol_comparison,
+        5: figure5_expected_time,
+        6: figure6_stddev,
+    }[args.number]()
+    print(artifact.render())
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .core import run_transfer
+    from .simnet import NetworkParams, TraceRecorder
+
+    trace = TraceRecorder()
+    run_transfer(
+        args.protocol,
+        bytes(args.packets * 1024),
+        params=NetworkParams.standalone(propagation_delay_s=0.0),
+        trace=trace,
+    )
+    print(f"{args.protocol}, N={args.packets}  "
+          "('#' = processor copy, '=' = wire)")
+    print(trace.render_ascii(width=args.width))
+    return 0
+
+
+def _cmd_udp(args) -> int:
+    from .simnet import BernoulliErrors
+    from .udpnet import (
+        BlastReceiver,
+        BlastSender,
+        PerPacketAckReceiver,
+        SawSender,
+        SlidingWindowSender,
+    )
+
+    if args.udp_command == "recv":
+        receiver_cls = {
+            "blast": BlastReceiver, "perpacket": PerPacketAckReceiver,
+        }[args.protocol]
+        with receiver_cls(bind=(args.host, args.port)) as receiver:
+            host, port = receiver.address
+            print(f"listening on {host}:{port} ({args.protocol})", flush=True)
+            outcome = receiver.serve_one(first_timeout_s=300.0)
+        if not outcome.ok:
+            print(f"receive failed: {outcome.error}")
+            return 1
+        print(f"received {outcome.payload_bytes} bytes in "
+              f"{outcome.elapsed_s * 1e3:.1f} ms "
+              f"({outcome.throughput_bps / 1e6:.1f} Mb/s, "
+              f"{outcome.duplicates} duplicates)")
+        return 0
+
+    host, _, port = args.destination.rpartition(":")
+    destination = (host or "127.0.0.1", int(port))
+    error_model = BernoulliErrors(args.loss, seed=args.seed) if args.loss else None
+    data = bytes(args.size)
+    if args.protocol == "blast":
+        with BlastSender(error_model=error_model) as sender:
+            outcome = sender.send(data, destination, strategy=args.strategy)
+    elif args.protocol == "saw":
+        with SawSender(error_model=error_model) as sender:
+            outcome = sender.send(data, destination)
+    else:
+        with SlidingWindowSender(error_model=error_model) as sender:
+            outcome = sender.send(data, destination)
+    if not outcome.ok:
+        print(f"send failed: {outcome.error}")
+        return 1
+    print(f"sent {outcome.payload_bytes} bytes in {outcome.elapsed_s * 1e3:.1f} ms "
+          f"({outcome.data_frames_sent} data frames, "
+          f"{outcome.retransmissions} retransmissions)")
+    return 0
+
+
+def _cmd_regen(args) -> int:
+    from .bench import regenerate_all
+
+    written = regenerate_all(args.out)
+    for experiment_id, path in sorted(written.items()):
+        print(f"wrote {path}")
+    print(f"{len(written)} artifacts regenerated")
+    return 0
+
+
+def _cmd_moveto(args) -> int:
+    from .sim import Environment
+    from .simnet import BernoulliErrors, NetworkParams, make_lan
+    from .vkernel import VKernel
+
+    env = Environment()
+    error_model = BernoulliErrors(args.error_p, seed=0) if args.error_p else None
+    host_a, host_b, medium = make_lan(
+        env, NetworkParams.vkernel(), error_model=error_model
+    )
+    ka = VKernel(env, host_a, kernel_id=1)
+    kb = VKernel(env, host_b, kernel_id=2)
+    src = ka.create_process("src")
+    dst = kb.create_process("dst")
+    data = bytes(args.size)
+    dst.allocate("buf", args.size)
+
+    def body():
+        start = env.now
+        result = yield from ka.move_to(
+            src, dst.ref, "buf", data, strategy=args.strategy
+        )
+        return env.now - start, result
+
+    elapsed, result = env.run(env.process(body()))
+    intact = dst.read_buffer("buf") == data
+    print(f"MoveTo {args.size} bytes ({args.strategy}): "
+          f"{elapsed * 1e3:.2f} ms simulated, "
+          f"{result.stats.rounds if result else 1} round(s), "
+          f"{medium.frames_dropped} frames lost, intact={intact}")
+    return 0 if intact else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "compare": _cmd_compare,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "timeline": _cmd_timeline,
+        "udp": _cmd_udp,
+        "regen": _cmd_regen,
+        "moveto": _cmd_moveto,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's contribution: large-transfer protocols and their engines.
+
+Public surface:
+
+- frames and wire encoding (shared with the UDP transport),
+- receiver tracking and retransmission strategies (pure logic),
+- the simulated protocol engines (stop-and-wait, sliding window, blast,
+  multi-blast),
+- the one-call experiment runners.
+"""
+
+from .base import Transfer, TransferResult, TransferStats, packetize, reassemble
+from .blast import BlastTransfer
+from .frames import (
+    AckFrame,
+    ControlFrame,
+    DataFrame,
+    FrameKind,
+    NakFrame,
+    with_reply_flag,
+)
+from .multiblast import MultiBlastTransfer
+from .runner import PROTOCOLS, RunSummary, run_many, run_transfer
+from .sliding_window import SlidingWindowTransfer
+from .stop_and_wait import StopAndWaitTransfer
+from .strategies import (
+    STRATEGY_REGISTRY,
+    FailureDetection,
+    FullRetransmission,
+    FullRetransmissionWithNak,
+    GoBackN,
+    RetransmissionStrategy,
+    SelectiveRepeat,
+    get_strategy,
+)
+from .timers import AdaptiveTimeout, FixedTimeout, TimeoutPolicy
+from .tracker import ReceiverTracker, ReceptionReport
+from .wire import HEADER_BYTES, WireError, decode, encode
+
+__all__ = [
+    "Transfer",
+    "TransferResult",
+    "TransferStats",
+    "packetize",
+    "reassemble",
+    "DataFrame",
+    "AckFrame",
+    "NakFrame",
+    "ControlFrame",
+    "FrameKind",
+    "with_reply_flag",
+    "TimeoutPolicy",
+    "FixedTimeout",
+    "AdaptiveTimeout",
+    "ReceiverTracker",
+    "ReceptionReport",
+    "RetransmissionStrategy",
+    "FailureDetection",
+    "FullRetransmission",
+    "FullRetransmissionWithNak",
+    "GoBackN",
+    "SelectiveRepeat",
+    "STRATEGY_REGISTRY",
+    "get_strategy",
+    "StopAndWaitTransfer",
+    "SlidingWindowTransfer",
+    "BlastTransfer",
+    "MultiBlastTransfer",
+    "PROTOCOLS",
+    "run_transfer",
+    "run_many",
+    "RunSummary",
+    "encode",
+    "decode",
+    "WireError",
+    "HEADER_BYTES",
+]

@@ -1,0 +1,266 @@
+"""Blast protocol engine with pluggable retransmission strategy.
+
+The whole packet sequence is transmitted back-to-back with a single
+acknowledgement at the end (paper Figure 3.b).  Failure handling follows
+the configured :class:`~repro.core.strategies.RetransmissionStrategy`:
+
+- ``full_no_nak`` — §3.2.1: the receiver only ever sends a positive ack
+  (when it holds the complete sequence and sees a reply-requesting
+  frame); the sender's timer drives retransmission of everything.
+- ``full_nak`` — §3.2.2: the receiver answers the last packet with ACK
+  or NAK; a NAK triggers immediate full retransmission, the timer stays
+  as a backstop for a lost last packet or reply.
+- ``gobackn`` / ``selective`` — §3.2.3: each round sends its working set
+  with the *last packet reliable* (retransmitted every
+  ``reliable_retry_s`` until some reply arrives); the reply's reception
+  report selects the next working set (from-first-missing, or exactly
+  the missing packets).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..sim import Environment
+from ..simnet.host import Host
+from .base import Transfer
+from .frames import AckFrame, DataFrame, NakFrame, with_reply_flag
+from .strategies import (
+    FailureDetection,
+    RetransmissionStrategy,
+    get_strategy,
+)
+from .timers import FixedTimeout, TimeoutPolicy
+from .tracker import ReceiverTracker
+
+__all__ = ["BlastTransfer"]
+
+
+class BlastTransfer(Transfer):
+    """One transfer using a blast protocol.
+
+    Parameters
+    ----------
+    strategy:
+        A :class:`RetransmissionStrategy` instance or registry name
+        (default ``"gobackn"``, the paper's recommendation).
+    reliable_retry_s:
+        Retransmission period of the reliable last packet in the
+        gobackn/selective scheme; defaults to the error-free
+        single-exchange time.
+    timeout_s:
+        The (long) T_r timer; defaults to the error-free blast time of
+        the whole sequence.
+    """
+
+    name = "blast"
+
+    def __init__(
+        self,
+        env: Environment,
+        sender: Host,
+        receiver: Host,
+        data: bytes,
+        strategy: Union[str, RetransmissionStrategy] = "gobackn",
+        transfer_id: int = 1,
+        timeout_s: Optional[float] = None,
+        reliable_retry_s: Optional[float] = None,
+        max_rounds: int = 10_000,
+        verify_checksum: bool = False,
+        checksum_bytes_per_s: float = 2e6,
+        timeout_policy: Optional["TimeoutPolicy"] = None,
+    ):
+        self.strategy = (
+            get_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        super().__init__(env, sender, receiver, data, transfer_id, timeout_s)
+        if reliable_retry_s is None:
+            from ..analysis.errorfree import t_single_exchange
+
+            reliable_retry_s = t_single_exchange(self.params)
+        if reliable_retry_s <= 0:
+            raise ValueError("reliable_retry_s must be > 0")
+        if checksum_bytes_per_s <= 0:
+            raise ValueError("checksum_bytes_per_s must be > 0")
+        self.reliable_retry_s = reliable_retry_s
+        self.max_rounds = max_rounds
+        self.verify_checksum = verify_checksum
+        self.checksum_bytes_per_s = checksum_bytes_per_s
+        self.checksum_failures = 0
+        self._segment_crc: Optional[int] = None
+        # Retransmission-interval policy: the paper's fixed T_r unless an
+        # adaptive policy (see repro.core.timers) is supplied.  Policies
+        # are reusable across transfers, so a long-lived sender converges.
+        if timeout_policy is None:
+            timeout_policy = FixedTimeout(self.timeout_s)
+        self.timeout_policy = timeout_policy
+        self._tracker = ReceiverTracker(len(self.frames))
+
+    def _checksum_cost(self, host):
+        """Charge ``host``'s processor for checksumming the whole segment."""
+        with host.cpu.request() as claim:
+            yield claim
+            yield self.env.timeout(len(self.data) / self.checksum_bytes_per_s)
+
+    def strategy_name(self) -> Optional[str]:
+        return self.strategy.name
+
+    # -- sender ------------------------------------------------------------
+    def _sender(self):
+        total = len(self.frames)
+        if self.verify_checksum:
+            import zlib
+            from dataclasses import replace
+
+            self._segment_crc = zlib.crc32(self.data) & 0xFFFFFFFF
+            yield from self._checksum_cost(self.sender)
+            self.frames = [
+                replace(frame, segment_crc=self._segment_crc)
+                for frame in self.frames
+            ]
+        working: List[int] = list(range(total))
+        first_round = True
+        while True:
+            self.stats.rounds += 1
+            if self.stats.rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"blast/{self.strategy.name}: no success in {self.max_rounds} rounds"
+                )
+            if self.strategy.mode is FailureDetection.LAST_PACKET_RELIABLE:
+                reply = yield from self._send_round_reliable_last(working, first_round)
+            else:
+                reply = yield from self._send_round_timer(working, first_round)
+            first_round = False
+            if isinstance(reply, AckFrame):
+                return
+            report = reply.report if isinstance(reply, _NakWithReport) else None
+            working = self.strategy.next_working_set(total, report)
+
+    def _send_round_timer(self, working: List[int], first_round: bool):
+        """One round for the full-retransmission modes (timer / NAK-on-last)."""
+        round_start = self.env.now
+        for index, seq in enumerate(working):
+            frame = self.frames[seq]
+            if index == len(working) - 1:
+                frame = with_reply_flag(frame)
+            yield from self._send_data(frame)
+            self.stats.data_frames_sent += 1
+            if not first_round:
+                self.stats.retransmitted_data_frames += 1
+        reply = yield from self._recv_reply(timeout_s=self.timeout_policy.current())
+        if reply is None:
+            self.stats.timeouts += 1
+            self.timeout_policy.record_timeout()
+            return None
+        # Feed the adaptive estimator: the round completed on its own
+        # timer, so its duration is an (almost always) unambiguous
+        # round-trip sample.  (A reply straggling in from a previous
+        # round would pollute the estimate; with per-round reply
+        # elicitation that window is negligible.)
+        self.timeout_policy.record_sample(self.env.now - round_start)
+        if isinstance(reply, AckFrame):
+            return reply
+        assert isinstance(reply, NakFrame)
+        return _NakWithReport(reply)
+
+    def _send_round_reliable_last(self, working: List[int], first_round: bool):
+        """One round of the §3.2.3 scheme: unreliable body, reliable tail."""
+        for seq in working[:-1]:
+            yield from self._send_data(self.frames[seq])
+            self.stats.data_frames_sent += 1
+            if not first_round:
+                self.stats.retransmitted_data_frames += 1
+        last = with_reply_flag(self.frames[working[-1]])
+        attempts = 0
+        while True:
+            yield from self._send_data(last)
+            self.stats.data_frames_sent += 1
+            if attempts > 0 or not first_round:
+                self.stats.retransmitted_data_frames += 1
+            attempts += 1
+            if attempts > self.max_rounds:
+                raise RuntimeError("reliable last packet never acknowledged")
+            reply = yield from self._recv_reply(timeout_s=self.reliable_retry_s)
+            if reply is None:
+                self.stats.timeouts += 1
+                continue
+            if isinstance(reply, AckFrame):
+                return reply
+            assert isinstance(reply, NakFrame)
+            return _NakWithReport(reply)
+
+    # -- receiver ------------------------------------------------------------
+    def _receiver(self):
+        nak_enabled = self.strategy.uses_nak
+        while True:
+            frame = yield from self._recv_data()
+            if not isinstance(frame, DataFrame):
+                continue
+            if self._tracker.has(frame.seq):
+                self.stats.duplicates_received += 1
+            else:
+                self._tracker.add(frame.seq)
+                self.received_payloads[frame.seq] = frame.payload
+            if not frame.wants_reply:
+                continue
+            if self._tracker.is_complete and frame.segment_crc is not None:
+                # Whole-segment software checksum before acknowledging.
+                import zlib
+
+                yield from self._checksum_cost(self.receiver)
+                assembled = b"".join(
+                    self.received_payloads[seq] for seq in range(frame.total)
+                )
+                if (zlib.crc32(assembled) & 0xFFFFFFFF) != frame.segment_crc:
+                    # Silent corruption got through: discard everything and
+                    # ask for a fresh copy of the whole sequence.
+                    self.checksum_failures += 1
+                    self._tracker = ReceiverTracker(frame.total)
+                    self.received_payloads.clear()
+                    if nak_enabled:
+                        reply = NakFrame(
+                            transfer_id=self.transfer_id,
+                            first_missing=0,
+                            missing=tuple(range(frame.total)),
+                            total=frame.total,
+                            wire_bytes=self.params.ack_bytes,
+                        )
+                        yield from self._send_reply(reply)
+                        self.stats.reply_frames_sent += 1
+                    continue
+            if self._tracker.is_complete:
+                reply = AckFrame(
+                    transfer_id=self.transfer_id,
+                    seq=frame.total - 1,
+                    wire_bytes=self.params.ack_bytes,
+                )
+            elif nak_enabled:
+                report = self._tracker.report()
+                reply = NakFrame(
+                    transfer_id=self.transfer_id,
+                    first_missing=report.first_missing,
+                    missing=report.missing,
+                    total=frame.total,
+                    wire_bytes=self.params.ack_bytes,
+                )
+            else:
+                # §3.2.1: without NAKs the receiver stays silent on an
+                # incomplete sequence — the sender's timer will fire.
+                continue
+            yield from self._send_reply(reply)
+            self.stats.reply_frames_sent += 1
+
+
+class _NakWithReport:
+    """Adapter giving the sender a :class:`ReceptionReport` view of a NAK."""
+
+    def __init__(self, nak: NakFrame):
+        from .tracker import ReceptionReport
+
+        self.nak = nak
+        self.report = ReceptionReport(
+            total=nak.total,
+            complete=False,
+            first_missing=nak.first_missing,
+            missing=nak.missing,
+        )

@@ -1,0 +1,140 @@
+"""One-call experiment runner: build a LAN, run a transfer, return results.
+
+This is the library's front door for single measurements::
+
+    from repro import run_transfer
+    result = run_transfer("blast", data=bytes(64 * 1024))
+    print(result.elapsed_s, result.data_intact)
+
+and for repeated stochastic experiments::
+
+    summary = run_many("blast", data, error_p=1e-4, n_runs=200, seed=7)
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..sim import Environment
+from ..simnet import (
+    BernoulliErrors,
+    ErrorModel,
+    NetworkParams,
+    TraceRecorder,
+    make_lan,
+)
+from .base import Transfer, TransferResult
+from .blast import BlastTransfer
+from .multiblast import MultiBlastTransfer
+from .sliding_window import SlidingWindowTransfer
+from .stop_and_wait import StopAndWaitTransfer
+
+__all__ = ["PROTOCOLS", "run_transfer", "run_many", "RunSummary"]
+
+PROTOCOLS: Dict[str, Type[Transfer]] = {
+    StopAndWaitTransfer.name: StopAndWaitTransfer,
+    SlidingWindowTransfer.name: SlidingWindowTransfer,
+    BlastTransfer.name: BlastTransfer,
+    MultiBlastTransfer.name: MultiBlastTransfer,
+}
+
+
+def run_transfer(
+    protocol: str,
+    data: bytes,
+    params: Optional[NetworkParams] = None,
+    error_model: Optional[ErrorModel] = None,
+    trace: Optional[TraceRecorder] = None,
+    **transfer_kwargs,
+) -> TransferResult:
+    """Run one transfer of ``data`` on a fresh two-host LAN.
+
+    Parameters
+    ----------
+    protocol:
+        One of :data:`PROTOCOLS` (``stop_and_wait``, ``sliding_window``,
+        ``blast``, ``multiblast``).
+    params:
+        Network constants; defaults to the paper's standalone
+        calibration.
+    error_model:
+        Frame-loss model; default lossless.
+    trace:
+        Optional recorder for timeline analysis.
+    transfer_kwargs:
+        Extra arguments for the engine (``strategy=``, ``timeout_s=``,
+        ``blast_packets=`` ...).
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
+    env = Environment()
+    sender, receiver, _ = make_lan(env, params, error_model=error_model, trace=trace)
+    transfer = PROTOCOLS[protocol](env, sender, receiver, data, **transfer_kwargs)
+    return transfer.run()
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Statistics over repeated stochastic runs of one configuration."""
+
+    protocol: str
+    strategy: Optional[str]
+    n_runs: int
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+    mean_rounds: float
+    mean_data_frames: float
+    all_intact: bool
+
+    @classmethod
+    def from_results(cls, results: Sequence[TransferResult]) -> "RunSummary":
+        elapsed = [r.elapsed_s for r in results]
+        return cls(
+            protocol=results[0].protocol,
+            strategy=results[0].strategy,
+            n_runs=len(results),
+            mean_s=statistics.fmean(elapsed),
+            std_s=statistics.stdev(elapsed) if len(elapsed) > 1 else 0.0,
+            min_s=min(elapsed),
+            max_s=max(elapsed),
+            mean_rounds=statistics.fmean(r.stats.rounds for r in results),
+            mean_data_frames=statistics.fmean(
+                r.stats.data_frames_sent for r in results
+            ),
+            all_intact=all(r.data_intact for r in results),
+        )
+
+
+def run_many(
+    protocol: str,
+    data: bytes,
+    error_p: float,
+    n_runs: int,
+    params: Optional[NetworkParams] = None,
+    seed: int = 0,
+    **transfer_kwargs,
+) -> RunSummary:
+    """Repeat a transfer ``n_runs`` times under Bernoulli loss ``error_p``.
+
+    Each run gets a fresh LAN and a derived seed, so runs are independent
+    but the whole experiment is reproducible.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    results: List[TransferResult] = []
+    for run_index in range(n_runs):
+        model = BernoulliErrors(error_p, seed=seed * 1_000_003 + run_index)
+        results.append(
+            run_transfer(
+                protocol,
+                data,
+                params=params,
+                error_model=model,
+                **transfer_kwargs,
+            )
+        )
+    return RunSummary.from_results(results)

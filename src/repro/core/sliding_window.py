@@ -1,0 +1,134 @@
+"""Sliding-window protocol engine (paper Figure 3.c).
+
+Every packet is individually acknowledged but the sender continues to
+transmit without waiting — the paper assumes the window is "large enough
+so that it never gets closed".  This engine makes that assumption a
+*parameter*: ``window=None`` reproduces the paper (never closes), while a
+finite ``window`` stalls the sender at ``window`` unacknowledged packets.
+On a LAN the bandwidth-delay product is a tiny fraction of one packet, so
+even ``window=2`` behaves like an infinite window and ``window=1``
+degenerates to stop-and-wait — quantifying why the paper's assumption is
+harmless (see ``benchmarks/test_ablation_window.py``).
+
+Acknowledgement collection runs as a separate process on the sender
+host, so each incoming ack costs the sender a Ca copy-out that serialises
+with its data copies — the source of sliding window's small deficit
+against blast.
+
+Loss recovery is selective-repeat: after the initial pass the sender
+retransmits whichever packets remain unacknowledged (the paper notes the
+error characteristics are "similar to those of the blast protocol with
+selective retransmission").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..sim import Environment
+from ..simnet.host import Host
+from .base import Transfer
+from .frames import AckFrame, DataFrame, with_reply_flag
+
+__all__ = ["SlidingWindowTransfer"]
+
+
+class SlidingWindowTransfer(Transfer):
+    """One transfer using a sliding window.
+
+    Parameters
+    ----------
+    window:
+        Maximum unacknowledged packets in flight; ``None`` (default) is
+        the paper's never-closing window.
+    """
+
+    name = "sliding_window"
+
+    def __init__(
+        self,
+        env: Environment,
+        sender: Host,
+        receiver: Host,
+        data: bytes,
+        transfer_id: int = 1,
+        timeout_s: Optional[float] = None,
+        window: Optional[int] = None,
+    ):
+        super().__init__(env, sender, receiver, data, transfer_id, timeout_s)
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
+        self.window = window
+
+    def default_timeout(self) -> float:
+        """Retry interval once the initial pass is done."""
+        from ..analysis.errorfree import t_single_exchange
+
+        return t_single_exchange(self.params)
+
+    def _sender(self):
+        total = len(self.frames)
+        acked: Set[int] = set()
+        sent: Set[int] = set()
+        all_acked = self.env.event()
+        # One-shot event chain waking a window-stalled sender per ack.
+        progress = [self.env.event()]
+
+        def collector():
+            while len(acked) < total:
+                reply = yield from self._recv_reply()
+                if isinstance(reply, AckFrame) and 0 <= reply.seq < total:
+                    acked.add(reply.seq)
+                    expired, progress[0] = progress[0], self.env.event()
+                    expired.succeed()
+            all_acked.succeed()
+
+        self.env.process(collector())
+
+        def in_flight() -> int:
+            return len(sent - acked)
+
+        # Initial pass: every packet requests its own ack; with a finite
+        # window the sender stalls whenever the window closes.
+        for frame in self.frames:
+            while self.window is not None and in_flight() >= self.window:
+                yield progress[0]
+            yield from self._send_data(with_reply_flag(frame))
+            sent.add(frame.seq)
+            self.stats.data_frames_sent += 1
+        self.stats.rounds = 1
+
+        # Recovery passes: selective retransmission of unacked packets.
+        while not all_acked.triggered:
+            expiry = self.env.timeout(self.timeout_s)
+            outcome = yield self.env.any_of([all_acked, expiry])
+            if all_acked in outcome:
+                break
+            self.stats.timeouts += 1
+            self.stats.rounds += 1
+            pending = [seq for seq in range(total) if seq not in acked]
+            for seq in pending:
+                if seq in acked:  # an ack may land mid-pass
+                    continue
+                yield from self._send_data(with_reply_flag(self.frames[seq]))
+                self.stats.data_frames_sent += 1
+                self.stats.retransmitted_data_frames += 1
+        if not all_acked.processed:
+            yield all_acked
+
+    def _receiver(self):
+        while True:
+            frame = yield from self._recv_data()
+            if not isinstance(frame, DataFrame):
+                continue
+            if frame.seq in self.received_payloads:
+                self.stats.duplicates_received += 1
+            else:
+                self.received_payloads[frame.seq] = frame.payload
+            ack = AckFrame(
+                transfer_id=self.transfer_id,
+                seq=frame.seq,
+                wire_bytes=self.params.ack_bytes,
+            )
+            yield from self._send_reply(ack)
+            self.stats.reply_frames_sent += 1

@@ -1,0 +1,99 @@
+"""Stop-and-wait protocol engine (paper Figure 3.a).
+
+The sender refrains from sending a packet until it has received an
+acknowledgement for the previous one; on timeout it retransmits the
+unacknowledged packet.  The two processors are never active in parallel,
+which is why this protocol pays the full ``2C + T + 2Ca + Ta`` per packet
+and loses to the pipelined protocols by ~2x on a LAN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment
+from ..simnet.host import Host
+from .base import Transfer
+from .frames import AckFrame, DataFrame, with_reply_flag
+from .timers import FixedTimeout, TimeoutPolicy
+
+__all__ = ["StopAndWaitTransfer"]
+
+
+class StopAndWaitTransfer(Transfer):
+    """One transfer using stop-and-wait with per-packet retransmission.
+
+    ``timeout_policy`` optionally replaces the fixed per-packet timer
+    with an adaptive one (see :mod:`repro.core.timers`); clean exchanges
+    feed it RTT samples, retransmitted ones do not (Karn's rule).
+    """
+
+    name = "stop_and_wait"
+
+    def __init__(
+        self,
+        env: Environment,
+        sender: Host,
+        receiver: Host,
+        data: bytes,
+        transfer_id: int = 1,
+        timeout_s: Optional[float] = None,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+    ):
+        super().__init__(env, sender, receiver, data, transfer_id, timeout_s)
+        if timeout_policy is None:
+            timeout_policy = FixedTimeout(self.timeout_s)
+        self.timeout_policy = timeout_policy
+
+    def default_timeout(self) -> float:
+        """Per-packet timer: the error-free single-exchange time."""
+        from ..analysis.errorfree import t_single_exchange
+
+        return t_single_exchange(self.params)
+
+    def _sender(self):
+        for frame in self.frames:
+            frame = with_reply_flag(frame)
+            first_try = True
+            while True:
+                start = self.env.now
+                yield from self._send_data(frame)
+                self.stats.data_frames_sent += 1
+                if not first_try:
+                    self.stats.retransmitted_data_frames += 1
+                reply = yield from self._recv_reply(
+                    timeout_s=self.timeout_policy.current()
+                )
+                if reply is None:
+                    self.stats.timeouts += 1
+                    self.timeout_policy.record_timeout()
+                    first_try = False
+                    continue
+                if isinstance(reply, AckFrame) and reply.seq == frame.seq:
+                    if first_try:
+                        # Karn's rule: only unambiguous exchanges sampled.
+                        self.timeout_policy.record_sample(self.env.now - start)
+                    break
+                # A stale ack (for an earlier packet whose first ack was
+                # delayed): ignore it and wait again.
+                first_try = False
+        self.stats.rounds = len(self.frames)
+
+    def _receiver(self):
+        while True:
+            frame = yield from self._recv_data()
+            if not isinstance(frame, DataFrame):
+                continue
+            if frame.seq in self.received_payloads:
+                self.stats.duplicates_received += 1
+            else:
+                self.received_payloads[frame.seq] = frame.payload
+            # Acknowledge every data packet, duplicates included — a
+            # duplicate means our previous ack was lost.
+            ack = AckFrame(
+                transfer_id=self.transfer_id,
+                seq=frame.seq,
+                wire_bytes=self.params.ack_bytes,
+            )
+            yield from self._send_reply(ack)
+            self.stats.reply_frames_sent += 1

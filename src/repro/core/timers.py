@@ -1,0 +1,124 @@
+"""Retransmission-timeout policies.
+
+The paper uses a *fixed* retransmission interval T_r and Figure 6 shows
+how much its choice matters: sigma of the timer-driven strategies is
+proportional to T_r.  Picking T_r needs knowledge of T0(D) — which
+varies with transfer size, load and technology.  This module adds the
+textbook alternative as an extension: an adaptive timer estimating the
+round-trip time online (Jacobson's EWMA of mean and deviation, with
+Karn's rule of not sampling ambiguous rounds and exponential backoff on
+expiry).
+
+Policies are deliberately stateful and reusable across transfers: a file
+server performing many MoveTos hands the same policy to every transfer
+and the estimate converges over the workload
+(``benchmarks/test_ablation_adaptive_timer.py``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeoutPolicy", "FixedTimeout", "AdaptiveTimeout"]
+
+
+class TimeoutPolicy:
+    """Decides the current retransmission interval and learns from runs."""
+
+    def current(self) -> float:
+        """The interval to arm the retransmission timer with, seconds."""
+        raise NotImplementedError
+
+    def record_sample(self, rtt_s: float) -> None:
+        """Feed one *unambiguous* round-trip measurement (Karn's rule:
+        never call this for a round that involved a retransmission)."""
+
+    def record_timeout(self) -> None:
+        """The timer expired without a reply."""
+
+
+class FixedTimeout(TimeoutPolicy):
+    """The paper's policy: a constant T_r."""
+
+    def __init__(self, interval_s: float):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+
+    def current(self) -> float:
+        return self.interval_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedTimeout({self.interval_s!r})"
+
+
+class AdaptiveTimeout(TimeoutPolicy):
+    """Jacobson/Karels RTO estimation with Karn backoff.
+
+    ``rto = srtt + k * rttvar`` with EWMA gains ``alpha`` (mean) and
+    ``beta`` (deviation); timer expiry doubles the working RTO (bounded
+    by ``max_s``) until the next clean sample.
+
+    Parameters
+    ----------
+    initial_s:
+        RTO used before the first sample — deliberately allowed to be a
+        terrible guess; convergence is the point.
+    """
+
+    def __init__(
+        self,
+        initial_s: float = 1.0,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        k: float = 4.0,
+        min_s: float = 1e-4,
+        max_s: float = 60.0,
+        backoff: float = 2.0,
+    ):
+        if initial_s <= 0:
+            raise ValueError("initial_s must be > 0")
+        if not 0 < alpha <= 1 or not 0 < beta <= 1:
+            raise ValueError("alpha and beta must be in (0, 1]")
+        if k <= 0 or backoff < 1:
+            raise ValueError("k must be > 0 and backoff >= 1")
+        if not 0 < min_s <= max_s:
+            raise ValueError("need 0 < min_s <= max_s")
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.min_s = min_s
+        self.max_s = max_s
+        self.backoff = backoff
+        self.srtt: float | None = None
+        self.rttvar: float = 0.0
+        self._rto = min(max(initial_s, min_s), max_s)
+        self.samples = 0
+        self.expirations = 0
+
+    def current(self) -> float:
+        return self._rto
+
+    def record_sample(self, rtt_s: float) -> None:
+        if rtt_s < 0:
+            raise ValueError("rtt_s must be >= 0")
+        self.samples += 1
+        if self.srtt is None:
+            # RFC 6298 initialisation.
+            self.srtt = rtt_s
+            self.rttvar = rtt_s / 2.0
+        else:
+            error = rtt_s - self.srtt
+            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(error)
+            self.srtt = self.srtt + self.alpha * error
+        self._rto = min(
+            max(self.srtt + self.k * self.rttvar, self.min_s), self.max_s
+        )
+
+    def record_timeout(self) -> None:
+        self.expirations += 1
+        self._rto = min(self._rto * self.backoff, self.max_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveTimeout(rto={self._rto:.4f}, srtt={self.srtt}, "
+            f"samples={self.samples})"
+        )

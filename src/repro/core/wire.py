@@ -1,0 +1,143 @@
+"""Byte-level frame encoding for the real-socket (UDP) transport.
+
+Layout (big-endian):
+
+    magic   2B  0x5A57 ("ZW" — Zwaenepoel '85)
+    version 1B  1
+    kind    1B  FrameKind
+    xfer_id 4B  transfer identifier
+    seq     4B  DATA: packet seq; ACK: acked seq; NAK: first missing
+    total   4B  packets in the transfer
+    flags   1B  bit 0: wants_reply
+    length  2B  payload length (DATA) / bitmap length (NAK)
+    crc32   4B  CRC-32 of everything before this field plus the payload
+    payload     DATA: packet bytes; NAK: missing-set bitmap
+
+The NAK bitmap has bit ``seq`` set when packet ``seq`` is missing —
+64 bytes of bitmap covers a 512-packet transfer, matching the paper's
+observation that the acknowledgement frame has room for a full report.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Union
+
+from .frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
+
+__all__ = ["encode", "decode", "WireError", "HEADER_BYTES", "MAGIC"]
+
+MAGIC = 0x5A57
+VERSION = 1
+_HEADER = struct.Struct(">HBBIIIBH")
+_CRC = struct.Struct(">I")
+#: Total header size including the CRC field.
+HEADER_BYTES = _HEADER.size + _CRC.size
+
+_FLAG_WANTS_REPLY = 0x01
+
+Frame = Union[DataFrame, AckFrame, NakFrame, ControlFrame]
+
+
+class WireError(ValueError):
+    """A datagram that is not a valid protocol frame."""
+
+
+def _bitmap_from_missing(missing, total: int) -> bytes:
+    bitmap = bytearray((total + 7) // 8)
+    for seq in missing:
+        bitmap[seq // 8] |= 1 << (seq % 8)
+    return bytes(bitmap)
+
+
+def _missing_from_bitmap(bitmap: bytes, total: int) -> tuple:
+    missing = []
+    for seq in range(total):
+        if bitmap[seq // 8] & (1 << (seq % 8)):
+            missing.append(seq)
+    return tuple(missing)
+
+
+def encode(frame: Frame) -> bytes:
+    """Serialise a frame to datagram bytes."""
+    if isinstance(frame, DataFrame):
+        kind, seq, total, payload = FrameKind.DATA, frame.seq, frame.total, frame.payload
+        flags = _FLAG_WANTS_REPLY if frame.wants_reply else 0
+    elif isinstance(frame, AckFrame):
+        kind, seq, total, payload, flags = FrameKind.ACK, frame.seq, 0, b"", 0
+    elif isinstance(frame, NakFrame):
+        kind = FrameKind.NAK
+        seq, total = frame.first_missing, frame.total
+        payload = _bitmap_from_missing(frame.missing, frame.total)
+        flags = 0
+    elif isinstance(frame, ControlFrame):
+        kind = FrameKind.CONTROL
+        seq, total, payload, flags = frame.request_id, 0, frame.body, 0
+    else:
+        raise TypeError(f"cannot encode {frame!r}")
+    if len(payload) > 0xFFFF:
+        raise WireError(f"payload too large for wire format: {len(payload)}")
+    header = _HEADER.pack(
+        MAGIC, VERSION, int(kind), frame.transfer_id, seq, total, flags, len(payload)
+    )
+    crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+    return header + _CRC.pack(crc) + payload
+
+
+def decode(datagram: bytes) -> Frame:
+    """Parse datagram bytes back into a frame.
+
+    Raises :class:`WireError` on truncation, bad magic/version/kind,
+    CRC mismatch, or inconsistent fields — a real receiver must treat a
+    corrupted datagram exactly like a lost one.
+    """
+    if len(datagram) < HEADER_BYTES:
+        raise WireError(f"datagram too short: {len(datagram)} bytes")
+    header = datagram[: _HEADER.size]
+    magic, version, kind_raw, xfer, seq, total, flags, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic:#06x}")
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    (crc_stated,) = _CRC.unpack(datagram[_HEADER.size : HEADER_BYTES])
+    payload = datagram[HEADER_BYTES:]
+    if len(payload) != length:
+        raise WireError(f"length field {length} != payload {len(payload)}")
+    crc_actual = zlib.crc32(header + payload) & 0xFFFFFFFF
+    if crc_actual != crc_stated:
+        raise WireError(f"CRC mismatch: {crc_actual:#x} != {crc_stated:#x}")
+    try:
+        kind = FrameKind(kind_raw)
+    except ValueError as exc:
+        raise WireError(f"unknown frame kind {kind_raw}") from exc
+
+    try:
+        if kind is FrameKind.DATA:
+            return DataFrame(
+                transfer_id=xfer,
+                seq=seq,
+                total=total,
+                payload=payload,
+                wants_reply=bool(flags & _FLAG_WANTS_REPLY),
+                wire_bytes=len(datagram),
+            )
+        if kind is FrameKind.ACK:
+            return AckFrame(transfer_id=xfer, seq=seq, wire_bytes=len(datagram))
+        if kind is FrameKind.CONTROL:
+            return ControlFrame(
+                transfer_id=xfer,
+                request_id=seq,
+                body=payload,
+                wire_bytes=len(datagram),
+            )
+        missing = _missing_from_bitmap(payload, total)
+        return NakFrame(
+            transfer_id=xfer,
+            first_missing=seq,
+            missing=missing,
+            total=total,
+            wire_bytes=len(datagram),
+        )
+    except (ValueError, IndexError) as exc:
+        raise WireError(f"inconsistent frame fields: {exc}") from exc

@@ -1,0 +1,31 @@
+"""A compact discrete-event simulation kernel (SimPy-style, from scratch).
+
+This package provides the substrate every simulated subsystem in the
+repository runs on: a simulated clock, generator-based processes,
+timeouts, condition events, interrupts, counting resources and FIFO
+stores.  See DESIGN.md §3 for where it sits in the system.
+"""
+
+from .environment import EmptySchedule, Environment
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, StopSimulation, Timeout
+from .processes import Process
+from .resources import Request, Resource
+from .store import Store, StoreGet, StorePut
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "StopSimulation",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "StoreGet",
+    "StorePut",
+]

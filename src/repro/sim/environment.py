@@ -1,0 +1,152 @@
+"""The simulation environment: clock, event heap, and run loop.
+
+:class:`Environment` is the single object protocol engines, hosts and
+benches share.  It keeps simulated time as a float (seconds throughout
+this repository) and pops events in ``(time, priority, sequence)`` order,
+so same-time events process in FIFO order of scheduling, with urgent
+(priority) events — process initialisation and interrupts — first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, StopSimulation, Timeout
+from .processes import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+#: Priority of ordinary events.
+_NORMAL = 1
+#: Priority of urgent events (process init, interrupts).
+_URGENT = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event execution environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling / execution ------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, _URGENT if priority else _NORMAL, next(self._eid), event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of silently dropping.
+            if isinstance(event._value, BaseException):
+                raise event._value
+            raise RuntimeError(f"event {event!r} failed with {event._value!r}")
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an Event, a time, or exhaustion).
+
+        - ``until is None``: run until no events remain.
+        - ``until`` is an :class:`Event`: run until it fires and return its
+          value (the common way to run one transfer to completion).
+        - ``until`` is a number: run until the clock reaches it.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    # Already processed: nothing to run.
+                    return stop.value
+                stop.add_callback(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Event(self)
+                stop._value = None
+                stop.callbacks = [self._stop_callback]
+                heapq.heappush(self._queue, (at, _URGENT, -1, stop))
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as signal:
+            return signal.args[0] if signal.args else None
+        except EmptySchedule:
+            if stop is not None and isinstance(until, Event) and not stop.triggered:
+                raise RuntimeError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        # Propagate failures of the until-event to the caller.
+        if isinstance(event._value, BaseException):
+            event._defused = True
+            raise event._value
+        raise StopSimulation(event._value)

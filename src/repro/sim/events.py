@@ -1,0 +1,261 @@
+"""Core event types for the discrete-event simulation kernel.
+
+The kernel follows the classic event-scheduling design (as popularised by
+SimPy): an :class:`Event` is a one-shot occurrence with a value, a list of
+callbacks, and a position in the environment's event heap.  Processes
+(:mod:`repro.sim.processes`) suspend themselves on events by ``yield``-ing
+them; the environment resumes the process when the event fires.
+
+Events move through three states:
+
+``pending``
+    Created but not yet triggered.  ``triggered`` and ``processed`` are
+    both ``False``.
+``triggered``
+    A value (or an exception) has been attached and the event sits in the
+    environment's heap awaiting its turn.
+``processed``
+    The environment has popped the event and run its callbacks.
+
+This module is deliberately free of any networking vocabulary so it can be
+reused for every substrate in the repository (hosts, interfaces, kernels,
+Monte Carlo drivers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .environment import Environment
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "StopSimulation",
+    "PENDING",
+]
+
+
+class _PendingType:
+    """Sentinel for "no value attached yet"; ``None`` is a valid value."""
+
+    _instance: Optional["_PendingType"] = None
+
+    def __new__(cls) -> "_PendingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _PendingType()
+
+
+class StopSimulation(Exception):
+    """Raised internally by :meth:`Environment.run` to end a run early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` explaining why.
+    A process can catch :class:`Interrupt` to implement timeout-and-retry
+    loops (the blast protocol sender does exactly this).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.sim.environment.Environment`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value has been attached (event is or was scheduled)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; False if it carries an exception."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has no value yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value attached at trigger time (or the failure exception)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- state transitions -------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` thrown into them unless
+        the event is :meth:`defused <defuse>` first.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- callback API -------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately,
+        which lets processes wait on events that fired in the past.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    Timeouts are triggered immediately on construction (their firing time
+    is fixed), so they cannot be succeeded or failed manually.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout delay={self._delay!r}>"
+
+
+class Condition(Event):
+    """Composite event built from other events (base for any-of/all-of).
+
+    Triggers as soon as ``evaluate(events, n_triggered)`` returns True, or
+    immediately if it already holds for the events given.  The condition's
+    value is a dict mapping each *triggered* child event to its value, in
+    trigger order — enough to tell "which one fired first" for any-of.
+
+    If any child fails, the condition fails with the child's exception.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events: List[Event] = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share one environment")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def evaluate(self, events: List[Event], count: int) -> bool:
+        """Decide whether the condition holds; overridden by subclasses."""
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Only *processed* events count as "fired" from the condition's
+        # point of view: a Timeout is "triggered" from construction (its
+        # firing time is fixed) but has not happened until processed.
+        return {event: event.value for event in self._events if event.processed}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        self._count += 1
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+        elif self.evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires when the first of its child events fires."""
+
+    def evaluate(self, events: List[Event], count: int) -> bool:
+        return count >= 1
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired."""
+
+    def evaluate(self, events: List[Event], count: int) -> bool:
+        return count >= len(events)

@@ -1,0 +1,153 @@
+"""Generator-based processes for the simulation kernel.
+
+A process is a Python generator that ``yield``-s :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the yielded event fires;
+the event's value becomes the result of the ``yield`` expression.  When the
+generator returns, the process — which is itself an event — fires with the
+generator's return value, so processes can wait on each other:
+
+    def child(env):
+        yield env.timeout(5)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))   # resumes after 5 units
+
+Processes can be interrupted: :meth:`Process.interrupt` throws
+:class:`~repro.sim.events.Interrupt` into the generator at its current
+yield point.  The protocol engines use this for acknowledgement timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, Interrupt, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+__all__ = ["Process", "Initialize"]
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, priority=True)
+
+
+class Process(Event):
+    """An event wrapper driving a generator to completion.
+
+    The process fires when the generator returns (value = return value) or
+    fails when the generator raises (value = the exception).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (None if done)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a process
+        from itself is also rejected because the generator cannot throw
+        into its own active frame.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Deliver the interrupt through a dedicated failed event so that it
+        # arrives ordered with respect to other scheduled events.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._deliver_interrupt]
+        self.env.schedule(event, priority=True)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Resume the generator with an interrupt, detaching the old wait.
+
+        Without the detach, the event the process was waiting on would
+        still hold ``_resume`` in its callbacks and would drive the
+        generator a second time when it eventually fires.
+        """
+        if not self.is_alive:
+            # The process finished between interrupt scheduling and
+            # delivery; the interrupt silently evaporates.
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._resume(event)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                # An interrupt escaped the generator: treat as process failure.
+                self._target = None
+                env._active_process = None
+                self.fail(exc)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_process = None
+                self.fail(
+                    TypeError(
+                        f"process yielded {next_event!r}; processes must yield Events"
+                    )
+                )
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                next_event.add_callback(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed — loop and deliver its value now.
+            event = next_event
+
+        env._active_process = None

@@ -1,0 +1,144 @@
+"""FIFO stores for passing items between processes.
+
+A :class:`Store` is an unbounded-or-bounded queue of arbitrary items with
+event-returning ``put`` and ``get`` operations.  Network interfaces use
+stores as their receive queues: the medium ``put``-s delivered frames, the
+receiving protocol engine ``get``-s them (paying the copy-out cost before
+the get, which is how the receive-side copy is modelled).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+__all__ = ["Store", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`; fires when accepted."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending removal from a :class:`Store`; fires with the item."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.predicate = predicate
+        self._store = store
+        store._get_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw this get if it has not been satisfied yet.
+
+        Protocol engines race a get against a timeout (``env.any_of``);
+        the loser must be cancelled so a stale get does not steal a later
+        frame.
+        """
+        if not self.triggered and self in self._store._get_queue:
+            self._store._get_queue.remove(self)
+
+
+class Store:
+    """FIFO item queue with optional capacity.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of buffered items; ``math.inf`` (default) for an
+        unbounded queue.  A single-buffered 3-Com-style receive interface
+        is a ``Store(capacity=1)``.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = math.inf):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum buffered items (``inf`` if unbounded)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event fires once there is room."""
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove the oldest item (matching ``predicate``, if given)."""
+        return StoreGet(self, predicate)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking insert: True if accepted, False if full.
+
+        This models a lossy hardware buffer — a frame arriving at a full
+        single-buffered interface is simply dropped on the floor.
+        """
+        if len(self.items) + len(self._put_queue) >= self._capacity:
+            return False
+        self.put(item)
+        return True
+
+    # -- internal ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Accept puts while there is room.
+            while self._put_queue and len(self.items) < self._capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy gets while items are available.
+            for get in list(self._get_queue):
+                if get.triggered:
+                    self._get_queue.remove(get)
+                    continue
+                item = self._match(get)
+                if item is _NO_MATCH:
+                    continue
+                self._get_queue.remove(get)
+                get.succeed(item)
+                progress = True
+
+    def _match(self, get: StoreGet) -> Any:
+        if not self.items:
+            return _NO_MATCH
+        if get.predicate is None:
+            return self.items.popleft()
+        for index, item in enumerate(self.items):
+            if get.predicate(item):
+                del self.items[index]
+                return item
+        return _NO_MATCH
+
+
+class _NoMatch:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no-match>"
+
+
+_NO_MATCH = _NoMatch()

@@ -1,0 +1,153 @@
+"""The shared network medium (a 10 Mb/s Ethernet under low load).
+
+The wire is a mutual-exclusion resource: one frame transmits at a time,
+and a host wanting to transmit while the wire is busy defers until it is
+idle (carrier sense).  Under the paper's low-load conditions there are no
+collisions to model — the only contention is between the two endpoints of
+a transfer (data packets vs acknowledgements), which CSMA carrier-sense
+deference resolves deterministically.  A probabilistic CSMA/CD extension
+lives in :mod:`repro.simnet.contention`.
+
+Loss is decided at the end of the wire phase by the configured
+:class:`~repro.simnet.errors.ErrorModel`, covering both the paper's wire
+errors and its interface errors (which side drops the frame is
+indistinguishable at protocol level).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Environment, Resource
+from .errors import ErrorModel, PerfectChannel
+from .params import NetworkParams
+from .trace import Activity, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interface import Interface
+
+__all__ = ["Medium"]
+
+
+class Medium:
+    """Point-to-point-or-broadcast wire with carrier-sense serialisation.
+
+    Parameters
+    ----------
+    env, params:
+        Simulation environment and network constants.
+    error_model:
+        Frame-loss model (default: :class:`PerfectChannel`).
+    trace:
+        Optional :class:`TraceRecorder` for timeline capture.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: NetworkParams,
+        error_model: Optional[ErrorModel] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.env = env
+        self.params = params
+        self.error_model = error_model if error_model is not None else PerfectChannel()
+        self.trace = trace
+        self.wire = Resource(env, capacity=1)
+        self.frames_transmitted = 0
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.bytes_transmitted = 0
+        self.busy_until = 0.0
+
+    def transmit(self, frame, src_name: str, dst: "Interface"):
+        """Transmit ``frame`` towards ``dst`` (generator).
+
+        Returns once the frame has left the wire (so the caller can free
+        its transmit buffer); propagation and delivery continue in a
+        spawned process.  The loss decision is made here, in wire order,
+        so deterministic drop scripts see frames in a stable order.
+        """
+        with self.wire.request() as claim:
+            yield claim
+            start = self.env.now
+            yield self.env.timeout(self.params.transmission_time(frame.wire_bytes))
+            end = self.env.now
+            self.busy_until = end
+            if self.trace is not None:
+                self.trace.record(Activity.TRANSMIT, src_name, start, end, frame)
+        self.frames_transmitted += 1
+        self.bytes_transmitted += frame.wire_bytes
+        lost = self.error_model.drops(frame)
+        corrupted = (not lost) and self.error_model.corrupts(frame)
+        self.env.process(self._deliver(frame, src_name, dst, lost, corrupted))
+
+    @staticmethod
+    def _damage(frame):
+        """A copy of ``frame`` with its payload silently damaged.
+
+        Frames without a (non-empty) payload — acknowledgements — have no
+        data to damage undetectably; a corrupted control frame fails its
+        own consistency checks at the receiver, which is indistinguishable
+        from loss, so ``None`` is returned and the caller drops it.
+        """
+        import dataclasses
+
+        payload = getattr(frame, "payload", None)
+        if not payload:
+            return None
+        damaged = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        return dataclasses.replace(frame, payload=damaged)
+
+    def _deliver(
+        self, frame, src_name: str, dst: "Interface", lost: bool, corrupted: bool
+    ):
+        """Propagation + device latency, then hand the frame to ``dst``."""
+        start = self.env.now
+        delay = self.params.propagation_delay_s + self.params.device_latency_s
+        yield self.env.timeout(delay)
+        if self.trace is not None and self.params.propagation_delay_s > 0:
+            self.trace.record(
+                Activity.PROPAGATE,
+                src_name,
+                start,
+                start + self.params.propagation_delay_s,
+                frame,
+            )
+        if lost:
+            self.frames_dropped += 1
+            if self.trace is not None:
+                now = self.env.now
+                self.trace.record(
+                    Activity.DROP, dst.name, now, now, frame, note="channel loss"
+                )
+            return
+        if corrupted:
+            damaged = self._damage(frame)
+            if damaged is None:
+                # Corrupted control frame: garbage on arrival = a loss.
+                self.frames_dropped += 1
+                if self.trace is not None:
+                    now = self.env.now
+                    self.trace.record(
+                        Activity.DROP, dst.name, now, now, frame,
+                        note="corrupted control frame",
+                    )
+                return
+            self.frames_corrupted += 1
+            if self.trace is not None:
+                now = self.env.now
+                self.trace.record(
+                    Activity.CORRUPT, dst.name, now, now, frame,
+                    note="silent payload corruption",
+                )
+            dst.deliver(damaged)
+            return
+        dst.deliver(frame)
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed fraction of transmitted frames that were lost."""
+        if self.frames_transmitted == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_transmitted

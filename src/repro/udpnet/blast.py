@@ -1,0 +1,202 @@
+"""Blast protocol over real UDP sockets, with the full strategy menu.
+
+Sender and receiver reuse the retransmission strategies and receiver
+tracker from :mod:`repro.core`, so the protocol logic is literally the
+same code the simulator runs; only the I/O loop differs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple, Union
+
+from ..core.base import packetize, reassemble
+from ..core.frames import AckFrame, DataFrame, NakFrame, with_reply_flag
+from ..core.strategies import (
+    FailureDetection,
+    RetransmissionStrategy,
+    get_strategy,
+)
+from ..core.tracker import ReceiverTracker, ReceptionReport
+from ..core.wire import encode
+from .endpoints import UdpEndpoint, UdpTransferOutcome
+
+__all__ = ["BlastSender", "BlastReceiver"]
+
+
+class BlastSender(UdpEndpoint):
+    """Blast sender with a pluggable retransmission strategy."""
+
+    def send(
+        self,
+        data: bytes,
+        dst: Tuple[str, int],
+        strategy: Union[str, RetransmissionStrategy] = "gobackn",
+        timeout_s: float = 0.2,
+        reliable_retry_s: float = 0.02,
+        max_rounds: int = 500,
+        transfer_id: int = 1,
+    ) -> UdpTransferOutcome:
+        """Transfer ``data`` to ``dst`` as one blast (plus retransmission).
+
+        ``timeout_s`` is the long T_r timer for the full-retransmission
+        modes; ``reliable_retry_s`` is the retry period of the reliable
+        last packet in the gobackn/selective scheme.
+        """
+        strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+        frames = packetize(data, self.packet_bytes, transfer_id)
+        total = len(frames)
+        outcome = UdpTransferOutcome(
+            ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=total
+        )
+        working: List[int] = list(range(total))
+        start = time.monotonic()
+        reliable = strategy.mode is FailureDetection.LAST_PACKET_RELIABLE
+        wait_s = reliable_retry_s if reliable else timeout_s
+
+        for round_index in range(max_rounds):
+            outcome.rounds += 1
+            # Send the round's working set; the last packet requests a reply.
+            for position, seq in enumerate(working):
+                frame = frames[seq]
+                if position == len(working) - 1:
+                    frame = with_reply_flag(frame)
+                self.sock.sendto(encode(frame), dst)
+                outcome.data_frames_sent += 1
+                if round_index:
+                    outcome.retransmissions += 1
+            reply = self._await_reply(transfer_id, wait_s)
+            # Reliable-last mode: keep nudging the last packet by itself.
+            retries = 0
+            while reply is None and reliable and retries < max_rounds:
+                outcome.timeouts += 1
+                retries += 1
+                last = with_reply_flag(frames[working[-1]])
+                self.sock.sendto(encode(last), dst)
+                outcome.data_frames_sent += 1
+                outcome.retransmissions += 1
+                reply = self._await_reply(transfer_id, wait_s)
+            if reply is None:
+                outcome.timeouts += 1
+                working = strategy.next_working_set(total, None)
+                continue
+            if isinstance(reply, AckFrame):
+                outcome.ok = True
+                outcome.elapsed_s = time.monotonic() - start
+                return outcome
+            report = ReceptionReport(
+                total=reply.total,
+                complete=False,
+                first_missing=reply.first_missing,
+                missing=reply.missing,
+            )
+            working = strategy.next_working_set(total, report)
+        outcome.error = f"no success within {max_rounds} rounds"
+        outcome.elapsed_s = time.monotonic() - start
+        return outcome
+
+    def _await_reply(self, transfer_id: int, timeout_s: float):
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            got = self._recv_frame(remaining)
+            if got is None:
+                return None
+            frame, _ = got
+            if (
+                isinstance(frame, (AckFrame, NakFrame))
+                and frame.transfer_id == transfer_id
+            ):
+                return frame
+
+
+class BlastReceiver(UdpEndpoint):
+    """Blast receiver; behaviour depends on whether NAKs are enabled."""
+
+    def serve_one(
+        self,
+        nak: bool = True,
+        first_timeout_s: float = 10.0,
+        idle_timeout_s: float = 2.0,
+        linger_s: float = 0.1,
+    ) -> UdpTransferOutcome:
+        """Receive one complete blast transfer.
+
+        With ``nak=False`` the receiver reproduces §3.2.1: it stays
+        silent on reply-requesting frames until it holds the complete
+        sequence (timer-only failure detection at the sender).
+        """
+        tracker: Optional[ReceiverTracker] = None
+        transfer_id: Optional[int] = None
+        payloads = {}
+        outcome = UdpTransferOutcome(ok=False, elapsed_s=0.0, payload_bytes=0, n_packets=0)
+        start: Optional[float] = None
+        replied_final = False
+
+        def handle(frame: DataFrame, sender) -> None:
+            nonlocal tracker, transfer_id, replied_final
+            if tracker is None:
+                tracker = ReceiverTracker(frame.total)
+                transfer_id = frame.transfer_id
+            if frame.transfer_id != transfer_id:
+                return
+            if tracker.has(frame.seq):
+                outcome.duplicates += 1
+            else:
+                tracker.add(frame.seq)
+                payloads[frame.seq] = frame.payload
+            if not frame.wants_reply:
+                return
+            if tracker.is_complete:
+                reply = AckFrame(transfer_id=frame.transfer_id, seq=frame.total - 1)
+                replied_final = True
+            elif nak:
+                report = tracker.report()
+                reply = NakFrame(
+                    transfer_id=frame.transfer_id,
+                    first_missing=report.first_missing,
+                    missing=report.missing,
+                    total=frame.total,
+                )
+            else:
+                return  # silent: the sender's timer will fire
+            self.sock.sendto(encode(reply), sender)
+            outcome.reply_frames_sent += 1
+
+        while tracker is None or not (tracker.is_complete and replied_final):
+            timeout = first_timeout_s if tracker is None else idle_timeout_s
+            got = self._recv_frame(timeout)
+            if got is None:
+                outcome.error = "timed out waiting for data"
+                return outcome
+            frame, sender = got
+            if not isinstance(frame, DataFrame):
+                continue
+            if start is None:
+                start = time.monotonic()
+            handle(frame, sender)
+
+        # Linger: repair a lost final ack if the sender retries.
+        deadline = time.monotonic() + linger_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            got = self._recv_frame(remaining)
+            if got is None:
+                break
+            frame, sender = got
+            if isinstance(frame, DataFrame):
+                handle(frame, sender)
+                deadline = time.monotonic() + linger_s
+
+        assert tracker is not None and start is not None
+        data = reassemble(payloads, tracker.total)
+        outcome.ok = True
+        outcome.data = data
+        outcome.payload_bytes = len(data)
+        outcome.n_packets = tracker.total
+        outcome.elapsed_s = time.monotonic() - start
+        return outcome

@@ -1,0 +1,108 @@
+"""Shared plumbing for the UDP protocol endpoints.
+
+The UDP transport reuses the byte-level wire format
+(:mod:`repro.core.wire`), the receiver tracker and the retransmission
+strategies from :mod:`repro.core` — only the I/O loop differs from the
+simulated engines.  Absolute throughput over loopback is bounded by the
+Python interpreter, so the benches assert protocol *orderings*, not
+megabits (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.wire import WireError, decode
+from ..simnet.errors import ErrorModel
+from .lossy import LossySocket
+
+__all__ = ["UdpEndpoint", "UdpTransferOutcome", "DEFAULT_PACKET_BYTES"]
+
+#: Payload bytes per data packet — the paper's 1 KB packets.
+DEFAULT_PACKET_BYTES = 1024
+
+
+@dataclass
+class UdpTransferOutcome:
+    """Result of one UDP transfer (sender or receiver side)."""
+
+    ok: bool
+    elapsed_s: float
+    payload_bytes: int
+    n_packets: int
+    data: bytes = b""
+    data_frames_sent: int = 0
+    reply_frames_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    rounds: int = 0
+    duplicates: int = 0
+    error: str = ""
+
+    @property
+    def throughput_bps(self) -> float:
+        """Delivered payload bits per second (interpreter-bound!)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return 8.0 * self.payload_bytes / self.elapsed_s
+
+
+class UdpEndpoint:
+    """Base class owning a (possibly lossy) UDP socket."""
+
+    def __init__(
+        self,
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        error_model: Optional[ErrorModel] = None,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        if packet_bytes < 1:
+            raise ValueError(f"packet_bytes must be >= 1, got {packet_bytes}")
+        raw = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        raw.bind(bind)
+        self.sock = LossySocket(raw, error_model)
+        self.packet_bytes = packet_bytes
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The endpoint's bound (host, port)."""
+        return self.sock.getsockname()
+
+    def close(self) -> None:
+        """Release the socket."""
+        self.sock.close()
+
+    def __enter__(self) -> "UdpEndpoint":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+    # -- I/O helpers --------------------------------------------------------
+    def _recv_frame(self, timeout_s: Optional[float]):
+        """Receive one valid frame, or None on timeout.
+
+        Corrupted datagrams (bad CRC, truncation) are treated exactly
+        like losses: skipped, and the wait continues with the remaining
+        time budget.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self.sock.settimeout(remaining)
+            else:
+                self.sock.settimeout(None)
+            try:
+                datagram, sender = self.sock.recvfrom(65536)
+            except socket.timeout:
+                return None
+            try:
+                return decode(datagram), sender
+            except WireError:
+                continue  # corrupted: indistinguishable from a loss

@@ -1,0 +1,64 @@
+"""Loss-injecting UDP socket wrapper.
+
+Real loopback sockets essentially never lose datagrams, so the error
+models from :mod:`repro.simnet.errors` (which are transport-agnostic coin
+flippers) are applied at send time to emulate the paper's lossy network
+and interfaces.  Dropping on the *sender* side keeps the receiver
+implementation honest — it simply never sees the datagram.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+from ..simnet.errors import ErrorModel, PerfectChannel
+
+__all__ = ["LossySocket"]
+
+
+class LossySocket:
+    """A UDP socket whose outgoing datagrams pass through an error model.
+
+    Only the methods the transport uses are wrapped; everything else
+    delegates to the underlying socket.
+    """
+
+    def __init__(self, sock: socket.socket, error_model: Optional[ErrorModel] = None):
+        self._sock = sock
+        self.error_model = error_model if error_model is not None else PerfectChannel()
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+
+    def sendto(self, payload: bytes, address: Tuple[str, int]) -> int:
+        """Send unless the error model drops the datagram."""
+        self.datagrams_sent += 1
+        if self.error_model.drops(payload):
+            self.datagrams_dropped += 1
+            return len(payload)  # swallowed silently, like the real wire
+        return self._sock.sendto(payload, address)
+
+    def recvfrom(self, bufsize: int):
+        return self._sock.recvfrom(bufsize)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def getsockname(self) -> Tuple[str, int]:
+        return self._sock.getsockname()
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "LossySocket":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed injected-loss fraction."""
+        if self.datagrams_sent == 0:
+            return 0.0
+        return self.datagrams_dropped / self.datagrams_sent

@@ -1,0 +1,144 @@
+"""Stop-and-wait over real UDP sockets.
+
+The sender transmits one packet, waits for its acknowledgement, and
+retransmits on timeout; the receiver acknowledges every data packet it
+sees (duplicates included — a duplicate means the previous ack was
+lost).  :class:`PerPacketAckReceiver` is shared with the sliding-window
+transport, whose receiver behaves identically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..core.base import packetize, reassemble
+from ..core.frames import AckFrame, DataFrame, with_reply_flag
+from ..core.tracker import ReceiverTracker
+from ..core.wire import encode
+from .endpoints import UdpEndpoint, UdpTransferOutcome
+
+__all__ = ["SawSender", "PerPacketAckReceiver"]
+
+
+class SawSender(UdpEndpoint):
+    """Stop-and-wait sender."""
+
+    def send(
+        self,
+        data: bytes,
+        dst: Tuple[str, int],
+        timeout_s: float = 0.05,
+        max_retries: int = 200,
+        transfer_id: int = 1,
+    ) -> UdpTransferOutcome:
+        """Transfer ``data`` to ``dst``; blocks until acknowledged."""
+        frames = packetize(data, self.packet_bytes, transfer_id)
+        outcome = UdpTransferOutcome(
+            ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=len(frames)
+        )
+        start = time.monotonic()
+        for frame in frames:
+            frame = with_reply_flag(frame)
+            datagram = encode(frame)
+            retries = 0
+            while True:
+                self.sock.sendto(datagram, dst)
+                outcome.data_frames_sent += 1
+                if retries:
+                    outcome.retransmissions += 1
+                reply = self._recv_frame(timeout_s)
+                if reply is not None:
+                    received, _ = reply
+                    if (
+                        isinstance(received, AckFrame)
+                        and received.transfer_id == transfer_id
+                        and received.seq == frame.seq
+                    ):
+                        break
+                    # A stale ack for an earlier packet: resend and rewait.
+                    retries += 1
+                    continue
+                outcome.timeouts += 1
+                retries += 1
+                if retries > max_retries:
+                    outcome.error = f"packet {frame.seq}: no ack in {max_retries} tries"
+                    outcome.elapsed_s = time.monotonic() - start
+                    return outcome
+        outcome.ok = True
+        outcome.rounds = len(frames)
+        outcome.elapsed_s = time.monotonic() - start
+        return outcome
+
+
+class PerPacketAckReceiver(UdpEndpoint):
+    """Receiver that acknowledges every data packet (SAW and SW)."""
+
+    def serve_one(
+        self,
+        first_timeout_s: float = 10.0,
+        idle_timeout_s: float = 1.0,
+        linger_s: float = 0.1,
+    ) -> UdpTransferOutcome:
+        """Receive one complete transfer; returns the reassembled data.
+
+        After completion the receiver lingers briefly, re-acknowledging
+        duplicate packets so the sender's final exchange can complete.
+        """
+        tracker: Optional[ReceiverTracker] = None
+        payloads = {}
+        outcome = UdpTransferOutcome(ok=False, elapsed_s=0.0, payload_bytes=0, n_packets=0)
+        start: Optional[float] = None
+        transfer_id: Optional[int] = None
+
+        def handle(frame: DataFrame, sender) -> None:
+            nonlocal tracker, transfer_id
+            if tracker is None:
+                tracker = ReceiverTracker(frame.total)
+                transfer_id = frame.transfer_id
+            if frame.transfer_id != transfer_id:
+                return
+            if tracker.has(frame.seq):
+                outcome.duplicates += 1
+            else:
+                tracker.add(frame.seq)
+                payloads[frame.seq] = frame.payload
+            ack = AckFrame(transfer_id=frame.transfer_id, seq=frame.seq)
+            self.sock.sendto(encode(ack), sender)
+            outcome.reply_frames_sent += 1
+
+        while tracker is None or not tracker.is_complete:
+            timeout = first_timeout_s if tracker is None else idle_timeout_s
+            got = self._recv_frame(timeout)
+            if got is None:
+                outcome.error = "timed out waiting for data"
+                return outcome
+            frame, sender = got
+            if not isinstance(frame, DataFrame):
+                continue
+            if start is None:
+                start = time.monotonic()
+            handle(frame, sender)
+
+        # Linger: keep re-acking so a lost final ack can be repaired.
+        deadline = time.monotonic() + linger_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            got = self._recv_frame(remaining)
+            if got is None:
+                break
+            frame, sender = got
+            if isinstance(frame, DataFrame):
+                handle(frame, sender)
+                deadline = time.monotonic() + linger_s
+
+        assert tracker is not None and start is not None
+        data = reassemble(payloads, tracker.total)
+        outcome.ok = True
+        outcome.data = data
+        outcome.payload_bytes = len(data)
+        outcome.n_packets = tracker.total
+        outcome.elapsed_s = time.monotonic() - start
+        return outcome

@@ -1,0 +1,77 @@
+"""Sliding window over real UDP sockets.
+
+The sender blasts every packet without waiting (the window never closes,
+as the paper assumes), then collects per-packet acknowledgements and
+selectively retransmits whatever remains unacknowledged after a timeout.
+The receiver is the same per-packet-ack receiver stop-and-wait uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Set, Tuple
+
+from ..core.base import packetize
+from ..core.frames import AckFrame, with_reply_flag
+from ..core.wire import encode
+from .endpoints import UdpEndpoint, UdpTransferOutcome
+from .saw import PerPacketAckReceiver
+
+__all__ = ["SlidingWindowSender", "PerPacketAckReceiver"]
+
+
+class SlidingWindowSender(UdpEndpoint):
+    """Never-closing-window sender with selective-repeat recovery."""
+
+    def send(
+        self,
+        data: bytes,
+        dst: Tuple[str, int],
+        timeout_s: float = 0.05,
+        max_rounds: int = 200,
+        transfer_id: int = 1,
+    ) -> UdpTransferOutcome:
+        """Transfer ``data`` to ``dst``; blocks until every ack arrives."""
+        frames = [with_reply_flag(f) for f in packetize(data, self.packet_bytes, transfer_id)]
+        datagrams = {f.seq: encode(f) for f in frames}
+        total = len(frames)
+        acked: Set[int] = set()
+        outcome = UdpTransferOutcome(
+            ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=total
+        )
+        start = time.monotonic()
+
+        def drain_acks(budget_s: float) -> None:
+            deadline = time.monotonic() + budget_s
+            while len(acked) < total:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                got = self._recv_frame(remaining)
+                if got is None:
+                    return
+                reply, _ = got
+                if (
+                    isinstance(reply, AckFrame)
+                    and reply.transfer_id == transfer_id
+                    and 0 <= reply.seq < total
+                ):
+                    acked.add(reply.seq)
+
+        for round_index in range(max_rounds):
+            outcome.rounds += 1
+            pending = [seq for seq in range(total) if seq not in acked]
+            for seq in pending:
+                self.sock.sendto(datagrams[seq], dst)
+                outcome.data_frames_sent += 1
+                if round_index:
+                    outcome.retransmissions += 1
+            drain_acks(timeout_s)
+            if len(acked) == total:
+                outcome.ok = True
+                outcome.elapsed_s = time.monotonic() - start
+                return outcome
+            outcome.timeouts += 1
+        outcome.error = f"{total - len(acked)} packets unacked after {max_rounds} rounds"
+        outcome.elapsed_s = time.monotonic() - start
+        return outcome

@@ -1,0 +1,58 @@
+"""Message frames for V-kernel interprocess communication.
+
+V messages are small fixed-size records (32 bytes in the real kernel; we
+bill them at the experiment's 64-byte ack size on the wire).  Three kinds
+implement the V Send/Receive/Reply rendezvous:
+
+- ``SEND`` carries a request to a destination process and blocks the
+  sender until ``REPLY`` comes back;
+- ``REPLY`` completes the rendezvous;
+- ``MOVE_CREDIT`` announces a pre-allocated buffer so a remote ``MoveTo``
+  can target it (the paper's precondition that "the recipient has
+  sufficient buffers available to receive the data before the transfer
+  takes place").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Tuple
+
+__all__ = ["MessageKind", "MessageFrame", "ProcessRef"]
+
+
+class MessageKind(Enum):
+    """Discriminator for IPC frames."""
+
+    SEND = "send"
+    REPLY = "reply"
+
+
+@dataclass(frozen=True)
+class ProcessRef:
+    """Network-wide process identifier: (kernel id, pid)."""
+
+    kernel_id: int
+    pid: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kernel_id}:{self.pid}"
+
+
+@dataclass(frozen=True)
+class MessageFrame:
+    """One IPC message on the wire (or delivered locally)."""
+
+    kind: MessageKind
+    src: ProcessRef
+    dst: ProcessRef
+    msg_id: int
+    payload: Tuple[Any, ...] = field(default_factory=tuple)
+    wire_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.msg_id < 0:
+            raise ValueError(f"msg_id must be >= 0, got {self.msg_id}")
+        if self.wire_bytes < 0:
+            raise ValueError("wire_bytes must be >= 0")

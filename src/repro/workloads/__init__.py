@@ -1,0 +1,21 @@
+"""Workload generators: transfer-size mixes and file-access traces."""
+
+from .sizes import (
+    PAPER_TABLE_SIZES,
+    dump_chunks,
+    file_size_mix,
+    page_cluster_sizes,
+    paper_table_sizes,
+)
+from .traces import AccessRequest, FileAccessTrace, make_trace
+
+__all__ = [
+    "PAPER_TABLE_SIZES",
+    "paper_table_sizes",
+    "page_cluster_sizes",
+    "file_size_mix",
+    "dump_chunks",
+    "AccessRequest",
+    "FileAccessTrace",
+    "make_trace",
+]

@@ -1,0 +1,99 @@
+"""Tests for the multi-blast chunk-size model and optimiser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    expected_multiblast_time,
+    optimal_blast_size,
+    t_blast,
+)
+from repro.simnet import NetworkParams
+
+PARAMS = NetworkParams.standalone()
+
+
+class TestExpectedMultiblastTime:
+    def test_zero_loss_single_chunk(self):
+        assert expected_multiblast_time(64, 64, 0.0, PARAMS) == pytest.approx(
+            t_blast(64, PARAMS)
+        )
+
+    def test_zero_loss_chunking_adds_constants(self):
+        one = expected_multiblast_time(64, 64, 0.0, PARAMS)
+        four = expected_multiblast_time(64, 16, 0.0, PARAMS)
+        # Three extra end-of-chunk exchanges, nothing else.
+        per_chunk_constant = t_blast(16, PARAMS) - 16 * (
+            PARAMS.copy_data_s + PARAMS.transmit_data_s
+        )
+        assert four - one == pytest.approx(3 * per_chunk_constant, rel=1e-9)
+
+    def test_ragged_tail_accounted(self):
+        ragged = expected_multiblast_time(70, 64, 0.0, PARAMS)
+        expected = t_blast(64, PARAMS) + t_blast(6, PARAMS)
+        assert ragged == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_multiblast_time(0, 8, 0.0)
+        with pytest.raises(ValueError):
+            expected_multiblast_time(8, 0, 0.0)
+
+    def test_matches_des_multiblast_mean(self):
+        """Closed form vs the mechanistic engine under loss."""
+        from repro.core import run_many
+
+        pn = 2e-3
+        summary = run_many(
+            "multiblast", bytes(256 * 1024), error_p=pn, n_runs=60,
+            params=PARAMS, seed=4, blast_packets=64, strategy="full_nak",
+        )
+        predicted = expected_multiblast_time(256, 64, pn, PARAMS)
+        # The DES accumulates across rounds (slightly faster) and uses a
+        # NAK (shorter failed rounds): the closed form upper-bounds it.
+        assert summary.mean_s <= predicted * 1.02
+        assert summary.mean_s >= expected_multiblast_time(256, 64, 0.0, PARAMS)
+
+
+class TestOptimalBlastSize:
+    def test_error_free_prefers_one_big_blast(self):
+        b, _ = optimal_blast_size(256, 0.0, PARAMS)
+        assert b == 256
+
+    def test_optimum_shrinks_with_loss(self):
+        sizes = [optimal_blast_size(1024, pn, PARAMS, max_blast=1024)[0]
+                 for pn in (1e-5, 1e-4, 1e-3, 1e-2)]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] < sizes[0] / 10
+
+    def test_inverse_sqrt_scaling(self):
+        """b* ~ 1/sqrt(p_n): a 100x loss increase shrinks b* ~10x."""
+        b_low, _ = optimal_blast_size(2048, 1e-4, PARAMS, max_blast=2048)
+        b_high, _ = optimal_blast_size(2048, 1e-2, PARAMS, max_blast=2048)
+        assert b_low / b_high == pytest.approx(10, rel=0.35)
+
+    def test_paper_blast_size_near_optimal_at_interface_rate(self):
+        """At the paper's interface error rate the optimal chunk is ~64
+        packets — the paper's own 64 KB blasts were (implicitly) well
+        chosen for exactly the conditions it measured."""
+        b, best = optimal_blast_size(1024, 1e-4, PARAMS, max_blast=1024)
+        assert 40 <= b <= 110
+        at_64 = expected_multiblast_time(1024, 64, 1e-4, PARAMS)
+        assert at_64 <= best * 1.01
+
+    def test_returns_time_consistent_with_objective(self):
+        b, best = optimal_blast_size(100, 1e-3, PARAMS)
+        assert best == pytest.approx(
+            expected_multiblast_time(100, b, 1e-3, PARAMS)
+        )
+
+    @given(
+        total=st.integers(1, 200),
+        pn=st.floats(0.0, 0.05),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_never_worse_than_endpoints(self, total, pn):
+        _, best = optimal_blast_size(total, pn, PARAMS)
+        assert best <= expected_multiblast_time(total, total, pn, PARAMS) + 1e-12
+        assert best <= expected_multiblast_time(total, 1, pn, PARAMS) + 1e-12

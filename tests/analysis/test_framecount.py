@@ -1,0 +1,108 @@
+"""Tests for expected data-frame counts, validated against the MC and DES."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    expected_frames_full,
+    expected_frames_saw,
+    expected_frames_selective,
+    goodput_full,
+    goodput_selective,
+    run_trials,
+)
+from repro.simnet import NetworkParams
+
+D = 32
+PARAMS = NetworkParams.standalone()
+
+
+class TestClosedForms:
+    def test_zero_loss(self):
+        assert expected_frames_full(D, 0.0) == D
+        assert expected_frames_selective(D, 0.0) == D
+        assert expected_frames_saw(D, 0.0) == D
+
+    def test_validation(self):
+        for fn in (expected_frames_full, expected_frames_selective,
+                   expected_frames_saw):
+            with pytest.raises(ValueError):
+                fn(0, 0.1)
+            with pytest.raises(ValueError):
+                fn(D, 1.0)
+
+    def test_goodput_complements(self):
+        assert goodput_full(D, 1e-3) == pytest.approx(
+            D / expected_frames_full(D, 1e-3)
+        )
+        assert goodput_selective(D, 1e-3) == pytest.approx(
+            D / expected_frames_selective(D, 1e-3)
+        )
+
+    @given(pn=st.floats(0.0, 0.3), d=st.integers(1, 128))
+    @settings(max_examples=80)
+    def test_ordering_property(self, pn, d):
+        """Selective is the floor; full retransmission is the ceiling;
+        stop-and-wait sits between them (retries whole exchanges but only
+        one packet at a time)."""
+        selective = expected_frames_selective(d, pn)
+        saw = expected_frames_saw(d, pn)
+        full = expected_frames_full(d, pn)
+        assert d <= selective <= saw + 1e-9
+        assert saw <= full + 1e-9
+
+
+class TestAgainstMonteCarlo:
+    def test_full_retransmission_matches(self):
+        pn = 5e-3
+        summary = run_trials(
+            "full_nak", D, pn, n_trials=20_000, t_retry=0.1,
+            params=PARAMS, seed=5,
+        )
+        assert summary.mean_data_frames == pytest.approx(
+            expected_frames_full(D, pn), rel=0.02
+        )
+
+    def test_selective_close_to_lower_bound(self):
+        """The MC counts the reliable last packet's retries too, so it
+        sits slightly above the closed-form floor but below go-back-n."""
+        pn = 5e-3
+        selective = run_trials(
+            "selective", D, pn, n_trials=20_000, t_retry=0.1,
+            params=PARAMS, seed=6,
+        )
+        gobackn = run_trials(
+            "gobackn", D, pn, n_trials=20_000, t_retry=0.1,
+            params=PARAMS, seed=6,
+        )
+        floor = expected_frames_selective(D, pn)
+        assert floor <= selective.mean_data_frames <= floor * 1.05
+        assert selective.mean_data_frames <= gobackn.mean_data_frames
+        assert gobackn.mean_data_frames <= expected_frames_full(D, pn)
+
+    def test_saw_matches(self):
+        pn = 5e-3
+        summary = run_trials(
+            "saw", D, pn, n_trials=20_000, t_retry=0.1, params=PARAMS, seed=7,
+        )
+        assert summary.mean_data_frames == pytest.approx(
+            expected_frames_saw(D, pn), rel=0.02
+        )
+
+    def test_des_bounded_by_closed_form(self):
+        """The DES receiver accumulates packets across rounds, so it
+        needs *fewer* frames than the independent-rounds closed form —
+        and never fewer than the selective floor."""
+        from repro.core import run_many
+
+        pn = 0.01
+        summary = run_many(
+            "blast", bytes(D * 1024), error_p=pn, n_runs=100,
+            params=PARAMS, seed=8, strategy="full_nak",
+        )
+        assert (
+            expected_frames_selective(D, pn)
+            <= summary.mean_data_frames
+            <= expected_frames_full(D, pn) * 1.02
+        )

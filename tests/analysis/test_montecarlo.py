@@ -1,0 +1,136 @@
+"""Tests for the Monte Carlo strategy simulator (paper §3.2.3 mechanics)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RoundCostModel,
+    run_trials,
+    simulate_blast_transfer,
+    simulate_saw_transfer,
+    t_blast,
+    t_single_exchange,
+)
+from repro.simnet import NetworkParams
+
+PARAMS = NetworkParams.vkernel()
+D = 64
+
+
+@pytest.fixture()
+def cost():
+    return RoundCostModel(PARAMS)
+
+
+class TestNoLossPaths:
+    @pytest.mark.parametrize("strategy", ["full_no_nak", "full_nak",
+                                          "gobackn", "selective"])
+    def test_zero_loss_single_round(self, strategy, cost):
+        sample = simulate_blast_transfer(
+            strategy, D, 0.0, t_retry=1.0, cost=cost, rng=random.Random(1)
+        )
+        assert sample.rounds == 1
+        assert sample.data_frames_sent == D
+        assert sample.elapsed_s == pytest.approx(t_blast(D, PARAMS))
+
+    def test_zero_loss_saw(self, cost):
+        sample = simulate_saw_transfer(D, 0.0, 1.0, cost, random.Random(1))
+        assert sample.data_frames_sent == D
+        assert sample.elapsed_s == pytest.approx(D * t_single_exchange(PARAMS))
+
+
+class TestValidation:
+    def test_unknown_strategy(self, cost):
+        with pytest.raises(ValueError):
+            simulate_blast_transfer("warp", D, 0.0, 1.0, cost, random.Random(1))
+
+    def test_invalid_d(self, cost):
+        with pytest.raises(ValueError):
+            simulate_blast_transfer("selective", 0, 0.0, 1.0, cost, random.Random(1))
+
+    def test_pn_one_rejected(self, cost):
+        with pytest.raises(ValueError):
+            simulate_blast_transfer("selective", D, 1.0, 1.0, cost, random.Random(1))
+
+    def test_seed_reproducibility(self):
+        a = run_trials("gobackn", D, 1e-3, 500, t_retry=0.1, params=PARAMS, seed=5)
+        b = run_trials("gobackn", D, 1e-3, 500, t_retry=0.1, params=PARAMS, seed=5)
+        assert a == b
+
+
+class TestStrategyBehaviour:
+    def test_selective_resends_fewer_frames_than_gobackn(self):
+        pn = 0.02
+        go = run_trials("gobackn", D, pn, 2000, t_retry=0.1, params=PARAMS, seed=9)
+        sel = run_trials("selective", D, pn, 2000, t_retry=0.1, params=PARAMS, seed=9)
+        assert sel.mean_data_frames < go.mean_data_frames
+
+    def test_gobackn_resends_fewer_frames_than_full(self):
+        pn = 0.02
+        full = run_trials("full_nak", D, pn, 2000, t_retry=0.1, params=PARAMS, seed=9)
+        go = run_trials("gobackn", D, pn, 2000, t_retry=0.1, params=PARAMS, seed=9)
+        assert go.mean_data_frames < full.mean_data_frames
+
+    def test_figure6_sigma_ordering(self):
+        """full-no-NAK >> full-NAK > gobackn >= selective (paper Figure 6)."""
+        pn = 1e-3
+        t0 = t_blast(D, PARAMS)
+        kwargs = dict(n_trials=15_000, params=PARAMS, seed=21)
+        no_nak = run_trials("full_no_nak", D, pn, t_retry=10 * t0, **kwargs)
+        nak = run_trials("full_nak", D, pn, t_retry=10 * t0, **kwargs)
+        go = run_trials("gobackn", D, pn, t_retry=10 * t0, **kwargs)
+        sel = run_trials("selective", D, pn, t_retry=10 * t0, **kwargs)
+        assert no_nak.std_s > 3 * nak.std_s
+        assert nak.std_s > go.std_s
+        assert sel.std_s <= go.std_s * 1.05  # close, selective no worse
+
+    def test_gobackn_only_marginally_inferior_to_selective(self):
+        """The paper's engineering conclusion: go-back-n is the strategy of
+        choice because selective's improvement in *expected time* is not
+        significant (a few percent at interface error rates)."""
+        pn = 1e-3
+        t0 = t_blast(D, PARAMS)
+        kwargs = dict(n_trials=15_000, t_retry=10 * t0, params=PARAMS, seed=22)
+        go = run_trials("gobackn", D, pn, **kwargs)
+        sel = run_trials("selective", D, pn, **kwargs)
+        assert go.mean_s <= sel.mean_s * 1.05
+        # Both sit essentially at the error-free time.
+        assert go.mean_s == pytest.approx(t0, rel=0.05)
+        assert sel.mean_s == pytest.approx(t0, rel=0.05)
+
+    def test_cumulative_full_retx_never_slower(self):
+        """Receiver keeping packets across rounds can only help."""
+        pn = 0.05
+        fresh = run_trials("full_nak", D, pn, 4000, t_retry=0.1,
+                           params=PARAMS, seed=3, cumulative=False)
+        cumulative = run_trials("full_nak", D, pn, 4000, t_retry=0.1,
+                                params=PARAMS, seed=3, cumulative=True)
+        assert cumulative.mean_s <= fresh.mean_s
+
+    def test_expected_time_near_error_free_in_flat_region(self):
+        """§3.2 premise: at LAN error rates all strategies sit at ~T0(D)."""
+        pn = 1e-5
+        t0 = t_blast(D, PARAMS)
+        for strategy in ("full_no_nak", "full_nak", "gobackn", "selective"):
+            summary = run_trials(strategy, D, pn, 4000, t_retry=10 * t0,
+                                 params=PARAMS, seed=2)
+            assert summary.mean_s == pytest.approx(t0, rel=0.05)
+
+    @given(
+        pn=st.floats(0.0, 0.2),
+        d=st.integers(1, 32),
+        seed=st.integers(0, 1000),
+        strategy=st.sampled_from(["full_no_nak", "full_nak", "gobackn", "selective"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_always_completes_and_time_positive(self, pn, d, seed, strategy):
+        cost = RoundCostModel(PARAMS)
+        sample = simulate_blast_transfer(
+            strategy, d, pn, t_retry=0.5, cost=cost, rng=random.Random(seed)
+        )
+        assert sample.elapsed_s >= t_blast(d, PARAMS) * 0.999
+        assert sample.rounds >= 1
+        assert sample.data_frames_sent >= d

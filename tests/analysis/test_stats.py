@@ -1,0 +1,147 @@
+"""Tests for the statistics helpers (validated against scipy)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    mean_ci,
+    percentile,
+    run_trials,
+    summarize,
+    tail_ratio,
+)
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestMeanCi:
+    def test_single_sample_collapses(self):
+        assert mean_ci([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_interval_brackets_mean(self):
+        mean, low, high = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert low < mean < high
+        assert mean == pytest.approx(2.5)
+
+    def test_matches_scipy_normal_interval(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(1)
+        samples = [rng.gauss(10, 2) for _ in range(100)]
+        mean, low, high = mean_ci(samples, 0.95)
+        import statistics
+
+        sem = statistics.stdev(samples) / math.sqrt(len(samples))
+        expected = scipy_stats.norm.interval(0.95, loc=mean, scale=sem)
+        assert low == pytest.approx(expected[0], rel=1e-9)
+        assert high == pytest.approx(expected[1], rel=1e-9)
+
+    def test_coverage_simulation(self):
+        """~95 % of intervals contain the true mean."""
+        rng = random.Random(7)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            samples = [rng.gauss(0.0, 1.0) for _ in range(50)]
+            _, low, high = mean_ci(samples, 0.95)
+            hits += low <= 0.0 <= high
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    @given(samples=samples_strategy)
+    @settings(max_examples=80)
+    def test_interval_ordering_property(self, samples):
+        mean, low, high = mean_ci(samples)
+        assert low <= mean <= high
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+        assert percentile(data, 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        rng = random.Random(3)
+        samples = [rng.random() for _ in range(57)]
+        for q in (10, 42.5, 90, 99):
+            assert percentile(samples, q) == pytest.approx(
+                float(numpy.percentile(samples, q)), rel=1e-9
+            )
+
+    @given(samples=samples_strategy, q=st.floats(0, 100))
+    @settings(max_examples=100)
+    def test_bounds_property(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+
+class TestSummarize:
+    def test_fields_consistent(self):
+        rng = random.Random(5)
+        samples = [rng.expovariate(1.0) for _ in range(500)]
+        summary = summarize(samples)
+        assert summary.n == 500
+        assert summary.minimum <= summary.p50 <= summary.p90 <= summary.p99
+        assert summary.p99 <= summary.maximum
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_tail_ratio_matches_helper(self):
+        samples = [1.0] * 99 + [10.0]
+        summary = summarize(samples)
+        assert summary.tail_ratio_99 == pytest.approx(tail_ratio(samples), rel=0.1)
+
+    def test_constant_samples(self):
+        summary = summarize([2.0] * 10)
+        assert summary.std == 0.0
+        assert summary.tail_ratio_99 == 1.0
+
+
+class TestTailRatioOnProtocols:
+    def test_no_nak_has_much_fatter_tail_than_gobackn(self):
+        """The sigma argument restated as tail latency: at interface-grade
+        loss with a realistic timer, the no-NAK strategy's p99 is far
+        above its median, go-back-n's barely."""
+        from repro.analysis.montecarlo import RoundCostModel, simulate_blast_transfer
+        from repro.simnet import NetworkParams
+
+        params = NetworkParams.vkernel()
+        cost = RoundCostModel(params)
+        rng = random.Random(9)
+        t0 = cost.t0(64)
+        tails = {}
+        for strategy in ("full_no_nak", "gobackn"):
+            samples = [
+                simulate_blast_transfer(
+                    strategy, 64, 2e-3, 10 * t0, cost, rng
+                ).elapsed_s
+                for _ in range(3000)
+            ]
+            tails[strategy] = tail_ratio(samples)
+        assert tails["full_no_nak"] > 5
+        assert tails["gobackn"] < 2

@@ -1,0 +1,137 @@
+"""Tests for the standard-deviation models, validated against Monte Carlo."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    geometric_failure_std,
+    run_trials,
+    stddev_full_no_nak,
+    stddev_full_with_nak,
+    stddev_full_with_nak_exact,
+)
+from repro.simnet import NetworkParams
+
+D = 64
+PARAMS = NetworkParams.vkernel()
+
+
+class TestGeometricStd:
+    def test_zero_failure_probability(self):
+        assert geometric_failure_std(0.0, 1.0) == 0.0
+
+    def test_certain_failure_infinite(self):
+        assert geometric_failure_std(1.0, 1.0) == math.inf
+
+    def test_closed_form_value(self):
+        # F ~ geometric(p=0.5 failure): Var = .5/.25 = 2, sigma = sqrt(2).
+        assert geometric_failure_std(0.5, 1.0) == pytest.approx(math.sqrt(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_failure_std(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            geometric_failure_std(0.5, -1.0)
+
+
+class TestClosedFormsAgainstMonteCarlo:
+    """The formulas and the paper-style simulator must agree — this is the
+    repository's defence against the OCR-garbled printed formulas."""
+
+    @pytest.mark.parametrize("pn", [3e-4, 1e-3])
+    def test_full_no_nak_std_matches_mc(self, pn):
+        t0 = 173e-3
+        tr = 10 * t0
+        summary = run_trials(
+            "full_no_nak", D, pn, n_trials=20_000, t_retry=tr,
+            params=PARAMS, seed=42,
+        )
+        predicted = stddev_full_no_nak(D, t0, tr, pn)
+        assert summary.std_s == pytest.approx(predicted, rel=0.12)
+
+    @pytest.mark.parametrize("pn", [3e-4, 1e-3])
+    @pytest.mark.parametrize("tr_factor", [1.0, 10.0])
+    def test_full_nak_std_matches_exact_formula(self, pn, tr_factor):
+        from repro.analysis import t_blast
+
+        t0 = t_blast(D, PARAMS)
+        tr = tr_factor * t0
+        summary = run_trials(
+            "full_nak", D, pn, n_trials=20_000, t_retry=tr,
+            params=PARAMS, seed=43,
+        )
+        predicted = stddev_full_with_nak_exact(D, t0, tr, pn)
+        assert summary.std_s == pytest.approx(predicted, rel=0.12)
+
+    def test_paper_approximation_valid_when_timer_term_small(self):
+        """The paper's sigma ~ T0 sqrt(pc)/(1-pc) emerges from the exact
+        formula when the timer fallback is negligible (small T_r)."""
+        pn = 1e-3
+        t0 = 173e-3
+        approx = stddev_full_with_nak(D, t0, pn)
+        exact_small_tr = stddev_full_with_nak_exact(D, t0, 0.1 * t0, pn)
+        assert exact_small_tr == pytest.approx(approx, rel=0.05)
+        # ...and the approximation understates sigma for huge T_r.
+        exact_large_tr = stddev_full_with_nak_exact(D, t0, 100 * t0, pn)
+        assert exact_large_tr > 1.5 * approx
+
+    def test_no_nak_mean_matches_expected_time_formula(self):
+        from repro.analysis import expected_time_blast, t_blast
+
+        pn = 1e-3
+        t0 = t_blast(D, PARAMS)
+        tr = 2 * t0
+        summary = run_trials(
+            "full_no_nak", D, pn, n_trials=20_000, t_retry=tr,
+            params=PARAMS, seed=44,
+        )
+        predicted = expected_time_blast(D, t0, tr, pn)
+        assert summary.mean_s == pytest.approx(predicted, rel=0.03)
+
+
+class TestFigure6Orderings:
+    """The qualitative content of paper Figure 6."""
+
+    def test_no_nak_sigma_scales_with_retry_interval(self):
+        pn = 1e-4
+        t0 = 173e-3
+        small = stddev_full_no_nak(D, t0, t0, pn)
+        large = stddev_full_no_nak(D, t0, 100 * t0, pn)
+        assert large / small > 10
+
+    def test_nak_decouples_sigma_from_retry_interval(self):
+        """Paper: 'the standard deviation when using full retransmission
+        with a negative acknowledgement is all but independent from the
+        retransmission interval'.  Quantified with the exact formulas:
+        multiplying T_r by 100 blows no-NAK sigma up ~50x but moves
+        with-NAK sigma far less (only its rare timer-fallback term)."""
+        pn = 1e-4
+        t0 = 173e-3
+        no_nak_growth = stddev_full_no_nak(D, t0, 100 * t0, pn) / stddev_full_no_nak(
+            D, t0, t0, pn
+        )
+        nak_growth = stddev_full_with_nak_exact(
+            D, t0, 100 * t0, pn
+        ) / stddev_full_with_nak_exact(D, t0, t0, pn)
+        assert no_nak_growth > 40
+        # With-NAK still has the rare timer fallback (~2 p_n per round),
+        # so it is not perfectly flat — but its growth is well under half
+        # of no-NAK's, and for D=64 its Tr-dominated sigma stays ~sqrt((D+1)/2)
+        # ~ 5.7x below no-NAK's (asserted in test_nak_beats_no_nak).
+        assert nak_growth < no_nak_growth / 2
+
+    def test_nak_beats_no_nak(self):
+        pn = 1e-4
+        t0 = 173e-3
+        for tr_factor in (1.0, 10.0, 100.0):
+            tr = tr_factor * t0
+            assert stddev_full_with_nak_exact(D, t0, tr, pn) < stddev_full_no_nak(
+                D, t0, tr, pn
+            )
+
+    def test_sigma_monotone_in_pn(self):
+        t0 = 173e-3
+        sigmas = [stddev_full_no_nak(D, t0, t0, pn)
+                  for pn in (1e-6, 1e-5, 1e-4, 1e-3)]
+        assert sigmas == sorted(sigmas)

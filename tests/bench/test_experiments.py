@@ -1,0 +1,69 @@
+"""Smoke and shape tests for the experiment regeneration functions.
+
+The full shape assertions live in ``benchmarks/``; these tests keep the
+experiment functions correct under plain ``pytest tests/`` runs (smaller
+parameters for speed).
+"""
+
+import pytest
+
+from repro.bench import (
+    figure1_protocol_sketch,
+    figure3_timelines,
+    figure4_protocol_comparison,
+    figure5_expected_time,
+    figure6_stddev,
+    table1_standalone,
+    table2_breakdown,
+    table3_vkernel,
+)
+
+
+class TestTables:
+    def test_table1_small(self):
+        table = table1_standalone(sizes=(1024, 4096))
+        assert len(table.rows) == 2
+        assert float(table.rows[0][1]) == pytest.approx(3.93, abs=0.01)
+
+    def test_table2_rows(self):
+        table = table2_breakdown()
+        names = [row[0] for row in table.rows]
+        assert names[0] == "Copy data into sender's interface"
+        assert "Total" in names
+        assert "Observed elapsed time" in names
+
+    def test_table2_without_observed(self):
+        table = table2_breakdown(observed=False)
+        assert "Observed elapsed time" not in [row[0] for row in table.rows]
+
+    def test_table3_small(self):
+        table = table3_vkernel(sizes=(1024,))
+        assert float(table.rows[0][1]) == pytest.approx(5.89, abs=0.01)
+
+
+class TestFigures:
+    def test_figure1_sketch(self):
+        art = figure1_protocol_sketch(n_packets=2)
+        assert "blast" in art and "#" in art
+
+    def test_figure3_overlap_table(self):
+        table = figure3_timelines(n_packets=2)
+        rows = {row[0]: row for row in table.rows}
+        assert float(rows["stop_and_wait"][2]) == 0.0
+
+    def test_figure4_small_grid(self):
+        series = figure4_protocol_comparison(n_values=(2, 4), des_check=False)
+        assert set(series.series) == {"SAW", "SW", "B", "B dbuf"}
+        assert series.at("SAW", 4) > series.at("B", 4)
+
+    def test_figure4_with_des_check(self):
+        series = figure4_protocol_comparison(n_values=(4,), des_check=True)
+        assert series.at("B des", 4) == pytest.approx(series.at("B", 4), abs=0.01)
+
+    def test_figure5_small_grid(self):
+        series = figure5_expected_time(pn_values=(1e-5, 1e-3))
+        assert series.at("blast Tr=T0(D)", 1e-5) < series.at("SAW Tr=10xT0(1)", 1e-5)
+
+    def test_figure6_small(self):
+        series = figure6_stddev(pn_values=(1e-3,), n_trials=500)
+        assert series.at("full, no NAK", 1e-3) > series.at("full, NAK", 1e-3)

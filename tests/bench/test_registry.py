@@ -1,0 +1,43 @@
+"""Tests for the experiment registry and bulk regeneration."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, regenerate_all, render_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "figure1", "figure3", "figure4", "figure5", "figure6",
+        }
+
+    def test_render_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            render_experiment("table9")
+
+    def test_render_table(self):
+        text = render_experiment("table2")
+        assert "3.91" in text
+
+    def test_render_series_includes_plot(self):
+        text = render_experiment("figure5")
+        assert "p_n" in text
+        assert "|" in text  # the ASCII plot frame
+
+    def test_regenerate_all(self, tmp_path):
+        written = regenerate_all(tmp_path / "out")
+        assert set(written) == set(EXPERIMENTS)
+        for path in written.values():
+            assert path.exists()
+            assert path.read_text().strip()
+
+
+class TestCliRegen:
+    def test_regen_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["regen", "--out", str(tmp_path / "r")]) == 0
+        out = capsys.readouterr().out
+        assert "8 artifacts regenerated" in out
+        assert (tmp_path / "r" / "figure6.txt").exists()

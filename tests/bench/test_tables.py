@@ -1,0 +1,98 @@
+"""Tests for the bench rendering helpers."""
+
+import pytest
+
+from repro.bench import ExperimentSeries, ExperimentTable, format_ms
+
+
+class TestFormatMs:
+    def test_default_precision(self):
+        assert format_ms(0.14059) == "140.59"
+
+    def test_custom_digits(self):
+        assert format_ms(0.0012345, digits=3) == "1.234"
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        table = ExperimentTable("Title", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(22, "yy")
+        text = table.render()
+        assert "Title" in text
+        assert "22" in text
+        assert text.splitlines()[1] == "=" * len("Title")
+
+    def test_row_width_validated(self):
+        table = ExperimentTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("T", ["a"], notes=["a note"])
+        table.add_row(1)
+        assert "note: a note" in table.render()
+
+
+class TestExperimentSeries:
+    def build(self):
+        series = ExperimentSeries("S", "x", [1.0, 10.0, 100.0], y_label="y")
+        series.add_series("up", [1.0, 2.0, 3.0])
+        series.add_series("down", [3.0, 2.0, 1.0])
+        return series
+
+    def test_length_validated(self):
+        series = ExperimentSeries("S", "x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.add_series("bad", [1.0])
+
+    def test_at(self):
+        series = self.build()
+        assert series.at("up", 10.0) == 2.0
+        with pytest.raises(ValueError):
+            series.at("up", 5.0)
+
+    def test_render_contains_all_series(self):
+        text = self.build().render()
+        assert "up" in text and "down" in text
+        assert "100" in text
+
+    def test_render_plot_linear(self):
+        plot = self.build().render_plot(width=30, height=8)
+        assert "S" in plot
+        assert "* up" in plot
+        assert "o down" in plot
+        assert "|" in plot
+
+    def test_render_plot_log_axes(self):
+        plot = self.build().render_plot(width=30, height=8, log_x=True, log_y=True)
+        assert "* up" in plot
+
+    def test_render_plot_empty(self):
+        series = ExperimentSeries("S", "x", [1.0])
+        assert series.render_plot() == "(no series)"
+
+    def test_render_plot_nonpositive_log_y(self):
+        series = ExperimentSeries("S", "x", [1.0, 2.0])
+        series.add_series("zeros", [0.0, 0.0])
+        assert "no positive data" in series.render_plot(log_y=True)
+
+    def test_plot_monotone_series_has_monotone_columns(self):
+        """The 'up' marker should appear further right as y grows: the
+        last row's marker is left of the first row's marker column."""
+        series = ExperimentSeries("S", "x", list(range(1, 11)))
+        series.add_series("up", [float(v) for v in range(1, 11)])
+        plot = series.render_plot(width=40, height=10)
+        rows = [line for line in plot.splitlines() if "|" in line]
+        star_cols = [row.index("*") for row in rows if "*" in row]
+        # Top row (largest y) has the right-most star.
+        assert star_cols == sorted(star_cols, reverse=True)

@@ -1,0 +1,96 @@
+"""Unit tests for packetize/reassemble and TransferResult."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransferResult, TransferStats, packetize, reassemble
+
+
+class TestPacketize:
+    def test_exact_multiple(self):
+        frames = packetize(b"x" * 4096, 1024)
+        assert len(frames) == 4
+        assert all(len(f.payload) == 1024 for f in frames)
+        assert [f.seq for f in frames] == [0, 1, 2, 3]
+        assert all(f.total == 4 for f in frames)
+
+    def test_ragged_tail(self):
+        frames = packetize(b"x" * 2500, 1024)
+        assert [len(f.payload) for f in frames] == [1024, 1024, 452]
+
+    def test_empty_data_gives_one_empty_packet(self):
+        frames = packetize(b"", 1024)
+        assert len(frames) == 1
+        assert frames[0].payload == b""
+        assert frames[0].is_last
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            packetize(b"abc", 0)
+
+    def test_transfer_id_propagates(self):
+        frames = packetize(b"abc", 2, transfer_id=99)
+        assert all(f.transfer_id == 99 for f in frames)
+
+    def test_wire_bytes_equals_payload(self):
+        frames = packetize(b"x" * 1500, 1024)
+        assert [f.wire_bytes for f in frames] == [1024, 476]
+
+
+class TestReassemble:
+    def test_roundtrip(self):
+        data = bytes(range(256)) * 17
+        frames = packetize(data, 100)
+        payloads = {f.seq: f.payload for f in frames}
+        assert reassemble(payloads, len(frames)) == data
+
+    def test_missing_packet_rejected(self):
+        with pytest.raises(ValueError, match="missing packets"):
+            reassemble({0: b"a", 2: b"c"}, 3)
+
+    def test_extra_packet_rejected(self):
+        with pytest.raises(ValueError):
+            reassemble({0: b"a", 1: b"b"}, 1)
+
+    @given(data=st.binary(max_size=5000), packet=st.integers(1, 700))
+    @settings(max_examples=100)
+    def test_packetize_reassemble_inverse(self, data, packet):
+        frames = packetize(data, packet)
+        assert reassemble({f.seq: f.payload for f in frames}, len(frames)) == data
+        # Size invariant: no bytes created or lost.
+        assert sum(len(f.payload) for f in frames) == len(data)
+
+
+class TestTransferResult:
+    def _result(self, **overrides):
+        defaults = dict(
+            protocol="blast",
+            strategy="gobackn",
+            ok=True,
+            elapsed_s=0.1,
+            n_packets=64,
+            payload_bytes=64 * 1024,
+            data=b"",
+            data_intact=True,
+            stats=TransferStats(data_frames_sent=64),
+        )
+        defaults.update(overrides)
+        return TransferResult(**defaults)
+
+    def test_throughput(self):
+        result = self._result(elapsed_s=1.0, payload_bytes=1_000_000)
+        assert result.throughput_bps == pytest.approx(8e6)
+
+    def test_throughput_zero_elapsed(self):
+        assert self._result(elapsed_s=0.0).throughput_bps == float("inf")
+
+    def test_goodput_fraction_perfect(self):
+        assert self._result().goodput_fraction == 1.0
+
+    def test_goodput_fraction_with_retransmissions(self):
+        result = self._result(stats=TransferStats(data_frames_sent=128))
+        assert result.goodput_fraction == 0.5
+
+    def test_goodput_fraction_no_frames(self):
+        assert self._result(stats=TransferStats()).goodput_fraction == 0.0

@@ -1,0 +1,48 @@
+"""Tests for the finite-window extension of the sliding-window engine."""
+
+import pytest
+
+from repro.analysis import t_stop_and_wait
+from repro.core import run_transfer
+from repro.simnet import BernoulliErrors, NetworkParams
+
+DATA = bytes(16 * 1024)
+PARAMS = NetworkParams.standalone()
+
+
+class TestFiniteWindow:
+    def test_window_one_degenerates_to_stop_and_wait(self):
+        """W=1 means 'wait for each ack before the next packet' — exactly
+        stop-and-wait, and the elapsed times agree to float precision."""
+        sw1 = run_transfer("sliding_window", DATA, params=PARAMS, window=1)
+        assert sw1.elapsed_s == pytest.approx(t_stop_and_wait(16, PARAMS), rel=1e-9)
+
+    def test_small_window_suffices_on_a_lan(self):
+        """The paper's never-closing-window assumption quantified: with the
+        LAN's tiny bandwidth-delay product, W=3 already matches W=inf."""
+        infinite = run_transfer("sliding_window", DATA, params=PARAMS).elapsed_s
+        w3 = run_transfer("sliding_window", DATA, params=PARAMS, window=3).elapsed_s
+        assert w3 == pytest.approx(infinite, rel=0.005)
+
+    def test_elapsed_monotone_in_window(self):
+        times = [
+            run_transfer("sliding_window", DATA, params=PARAMS, window=w).elapsed_s
+            for w in (1, 2, 3, 8)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            run_transfer("sliding_window", DATA, params=PARAMS, window=0)
+
+    def test_windowed_transfer_survives_loss(self):
+        result = run_transfer(
+            "sliding_window", DATA, params=PARAMS, window=4,
+            error_model=BernoulliErrors(0.05, seed=3),
+        )
+        assert result.data_intact
+
+    def test_window_equal_to_transfer_size_is_infinite(self):
+        infinite = run_transfer("sliding_window", DATA, params=PARAMS).elapsed_s
+        w16 = run_transfer("sliding_window", DATA, params=PARAMS, window=16).elapsed_s
+        assert w16 == pytest.approx(infinite, rel=1e-12)

@@ -1,0 +1,89 @@
+"""Unit tests for retransmission strategies (pure decision logic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FailureDetection,
+    FullRetransmission,
+    FullRetransmissionWithNak,
+    GoBackN,
+    ReceiverTracker,
+    SelectiveRepeat,
+    STRATEGY_REGISTRY,
+    get_strategy,
+)
+
+
+def report_for(total, received):
+    tracker = ReceiverTracker(total)
+    for seq in received:
+        tracker.add(seq)
+    return tracker.report()
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(STRATEGY_REGISTRY) == {
+            "full_no_nak", "full_nak", "gobackn", "selective",
+        }
+
+    def test_get_strategy(self):
+        assert isinstance(get_strategy("gobackn"), GoBackN)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("warp-speed")
+
+    def test_modes(self):
+        assert FullRetransmission.mode is FailureDetection.TIMER_ONLY
+        assert FullRetransmissionWithNak.mode is FailureDetection.NAK_ON_LAST
+        assert GoBackN.mode is FailureDetection.LAST_PACKET_RELIABLE
+        assert SelectiveRepeat.mode is FailureDetection.LAST_PACKET_RELIABLE
+
+    def test_uses_nak(self):
+        assert not FullRetransmission().uses_nak
+        assert FullRetransmissionWithNak().uses_nak
+        assert GoBackN().uses_nak
+        assert SelectiveRepeat().uses_nak
+
+
+class TestWorkingSets:
+    def test_full_resends_everything(self):
+        report = report_for(8, [0, 1, 2, 4, 5, 6, 7])
+        for strategy in (FullRetransmission(), FullRetransmissionWithNak()):
+            assert strategy.next_working_set(8, report) == list(range(8))
+
+    def test_gobackn_resends_from_first_missing(self):
+        report = report_for(8, [0, 1, 2, 4, 5, 6, 7])  # missing 3
+        assert GoBackN().next_working_set(8, report) == [3, 4, 5, 6, 7]
+
+    def test_selective_resends_only_missing(self):
+        report = report_for(8, [0, 2, 4, 6, 7])
+        assert SelectiveRepeat().next_working_set(8, report) == [1, 3, 5]
+
+    def test_no_report_falls_back_to_full(self):
+        """A timer-detected failure carries no reception information."""
+        for strategy in (GoBackN(), SelectiveRepeat()):
+            assert strategy.next_working_set(8, None) == list(range(8))
+
+    @given(total=st.integers(1, 100), data=st.data())
+    @settings(max_examples=100)
+    def test_working_set_invariants(self, total, data):
+        received = data.draw(st.sets(st.integers(0, total - 1), max_size=total - 1))
+        report = report_for(total, received)
+        missing = set(range(total)) - set(received)
+        for strategy in (FullRetransmission(), FullRetransmissionWithNak(),
+                         GoBackN(), SelectiveRepeat()):
+            working = strategy.next_working_set(total, report)
+            # Every working set covers all missing packets...
+            assert missing <= set(working)
+            # ...is sorted and duplicate-free...
+            assert working == sorted(set(working))
+            # ...and selective is minimal while full is maximal.
+            assert set(SelectiveRepeat().next_working_set(total, report)) == missing
+        go = set(GoBackN().next_working_set(total, report))
+        sel = set(SelectiveRepeat().next_working_set(total, report))
+        full = set(FullRetransmission().next_working_set(total, report))
+        assert sel <= go <= full

@@ -1,0 +1,138 @@
+"""Tests for retransmission-timeout policies."""
+
+import pytest
+
+from repro.core import AdaptiveTimeout, FixedTimeout
+
+
+class TestFixedTimeout:
+    def test_constant(self):
+        policy = FixedTimeout(0.5)
+        assert policy.current() == 0.5
+        policy.record_sample(0.1)
+        policy.record_timeout()
+        assert policy.current() == 0.5  # fixed means fixed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(0.0)
+
+
+class TestAdaptiveTimeout:
+    def test_initial_value_respected(self):
+        assert AdaptiveTimeout(initial_s=2.0).current() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(initial_s=0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(alpha=0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(backoff=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(min_s=1.0, max_s=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout().record_sample(-1.0)
+
+    def test_first_sample_initialises_rfc6298(self):
+        policy = AdaptiveTimeout(initial_s=10.0, k=4.0)
+        policy.record_sample(0.1)
+        assert policy.srtt == pytest.approx(0.1)
+        assert policy.rttvar == pytest.approx(0.05)
+        assert policy.current() == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_converges_on_steady_rtt(self):
+        policy = AdaptiveTimeout(initial_s=10.0)
+        for _ in range(100):
+            policy.record_sample(0.05)
+        # Variance decays to ~0, RTO approaches the true RTT.
+        assert policy.current() == pytest.approx(0.05, rel=0.05)
+
+    def test_variance_widens_rto(self):
+        steady = AdaptiveTimeout(initial_s=1.0)
+        jittery = AdaptiveTimeout(initial_s=1.0)
+        for index in range(100):
+            steady.record_sample(0.05)
+            jittery.record_sample(0.05 if index % 2 else 0.15)
+        assert jittery.current() > steady.current()
+
+    def test_backoff_on_timeout(self):
+        policy = AdaptiveTimeout(initial_s=0.1, backoff=2.0, max_s=1.0)
+        policy.record_timeout()
+        assert policy.current() == pytest.approx(0.2)
+        for _ in range(10):
+            policy.record_timeout()
+        assert policy.current() == 1.0  # clamped at max_s
+        assert policy.expirations == 11
+
+    def test_bounds_clamp(self):
+        policy = AdaptiveTimeout(initial_s=1.0, min_s=0.01, max_s=2.0)
+        policy.record_sample(1e-6)
+        assert policy.current() >= 0.01
+        for _ in range(50):
+            policy.record_sample(100.0)
+        assert policy.current() <= 2.0
+
+
+class TestAdaptiveInBlastEngine:
+    def test_policy_reused_across_transfers_converges(self):
+        """A long-lived sender with a terrible initial guess pays once,
+        then runs at the error-free time."""
+        from repro.analysis import t_blast
+        from repro.core import BlastTransfer
+        from repro.sim import Environment
+        from repro.simnet import NetworkParams, make_lan
+
+        policy = AdaptiveTimeout(initial_s=5.0)
+        params = NetworkParams.standalone()
+        env = Environment()
+        sender, receiver, _ = make_lan(env, params)
+        elapsed = []
+
+        def run_all():
+            for index in range(5):
+                transfer = BlastTransfer(
+                    env, sender, receiver, bytes(16 * 1024),
+                    strategy="full_nak", transfer_id=index + 1,
+                    timeout_policy=policy,
+                )
+                start = env.now
+                yield transfer.launch()
+                elapsed.append(env.now - start)
+
+        env.run(env.process(run_all()))
+        t0 = t_blast(16, params)
+        assert all(t == pytest.approx(t0, rel=0.01) for t in elapsed)
+        assert policy.samples == 5
+        assert policy.current() < 2 * t0
+
+    def test_adaptive_in_stop_and_wait(self):
+        """SAW samples every clean packet exchange, so the estimate
+        converges *within* one multi-packet transfer."""
+        from repro.analysis import t_single_exchange, t_stop_and_wait
+        from repro.core import run_transfer
+        from repro.simnet import NetworkParams
+
+        params = NetworkParams.standalone()
+        policy = AdaptiveTimeout(initial_s=1.0)
+        result = run_transfer(
+            "stop_and_wait", bytes(32 * 1024), params=params,
+            timeout_policy=policy,
+        )
+        assert result.data_intact
+        # Error-free: the bad initial RTO never fires, elapsed is exact.
+        assert result.elapsed_s == pytest.approx(t_stop_and_wait(32, params))
+        assert policy.samples == 32
+        assert policy.srtt == pytest.approx(t_single_exchange(params), rel=0.01)
+
+    def test_adaptive_recovers_from_loss(self):
+        from repro.core import run_transfer
+        from repro.simnet import DeterministicDrops, NetworkParams
+
+        result = run_transfer(
+            "blast", bytes(8 * 1024), params=NetworkParams.standalone(),
+            strategy="full_no_nak", error_model=DeterministicDrops([2]),
+            timeout_policy=AdaptiveTimeout(initial_s=0.05),
+        )
+        assert result.data_intact
+        assert result.stats.timeouts == 1

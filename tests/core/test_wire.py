@@ -1,0 +1,135 @@
+"""Unit and property tests for the byte-level wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AckFrame, DataFrame, NakFrame, WireError, decode, encode
+from repro.core.wire import HEADER_BYTES
+
+
+class TestRoundTrips:
+    def test_data_frame(self):
+        frame = DataFrame(7, 3, 10, b"hello world", wants_reply=True)
+        decoded = decode(encode(frame))
+        assert isinstance(decoded, DataFrame)
+        assert decoded.transfer_id == 7
+        assert decoded.seq == 3
+        assert decoded.total == 10
+        assert decoded.payload == b"hello world"
+        assert decoded.wants_reply
+
+    def test_ack_frame(self):
+        decoded = decode(encode(AckFrame(9, seq=63)))
+        assert isinstance(decoded, AckFrame)
+        assert decoded.transfer_id == 9
+        assert decoded.seq == 63
+
+    def test_nak_frame(self):
+        nak = NakFrame(5, first_missing=1, missing=(1, 3, 62), total=64)
+        decoded = decode(encode(nak))
+        assert isinstance(decoded, NakFrame)
+        assert decoded.first_missing == 1
+        assert decoded.missing == (1, 3, 62)
+        assert decoded.total == 64
+
+    def test_empty_payload_data_frame(self):
+        decoded = decode(encode(DataFrame(1, 0, 1, b"")))
+        assert decoded.payload == b""
+
+    def test_wire_bytes_reflects_datagram_size(self):
+        frame = DataFrame(1, 0, 1, b"x" * 50)
+        datagram = encode(frame)
+        assert decode(datagram).wire_bytes == len(datagram) == HEADER_BYTES + 50
+
+    @given(
+        xfer=st.integers(0, 2**32 - 1),
+        total=st.integers(1, 300),
+        payload=st.binary(max_size=1500),
+        wants_reply=st.booleans(),
+        data=st.data(),
+    )
+    @settings(max_examples=150)
+    def test_data_roundtrip_property(self, xfer, total, payload, wants_reply, data):
+        seq = data.draw(st.integers(0, total - 1))
+        frame = DataFrame(xfer, seq, total, payload, wants_reply=wants_reply)
+        decoded = decode(encode(frame))
+        assert (decoded.transfer_id, decoded.seq, decoded.total,
+                decoded.payload, decoded.wants_reply) == (
+                    xfer, seq, total, payload, wants_reply)
+
+    @given(total=st.integers(1, 512), data=st.data())
+    @settings(max_examples=150)
+    def test_nak_roundtrip_property(self, total, data):
+        missing = data.draw(
+            st.sets(st.integers(0, total - 1), min_size=1, max_size=total)
+        )
+        missing = tuple(sorted(missing))
+        nak = NakFrame(3, first_missing=missing[0], missing=missing, total=total)
+        decoded = decode(encode(nak))
+        assert decoded.missing == missing
+        assert decoded.first_missing == missing[0]
+
+
+class TestCorruptionHandling:
+    def test_truncated_datagram(self):
+        with pytest.raises(WireError, match="too short"):
+            decode(b"\x5a\x57\x01")
+
+    def test_bad_magic(self):
+        datagram = bytearray(encode(AckFrame(1, seq=0)))
+        datagram[0] ^= 0xFF
+        with pytest.raises(WireError, match="magic"):
+            decode(bytes(datagram))
+
+    def test_bad_version(self):
+        datagram = bytearray(encode(AckFrame(1, seq=0)))
+        datagram[2] = 99
+        with pytest.raises(WireError, match="version"):
+            decode(bytes(datagram))
+
+    def test_flipped_payload_bit_fails_crc(self):
+        datagram = bytearray(encode(DataFrame(1, 0, 1, b"payload")))
+        datagram[-1] ^= 0x01
+        with pytest.raises(WireError, match="CRC"):
+            decode(bytes(datagram))
+
+    def test_flipped_header_bit_fails(self):
+        datagram = bytearray(encode(DataFrame(1, 2, 8, b"payload")))
+        datagram[8] ^= 0x40  # somewhere in the seq field
+        with pytest.raises(WireError):
+            decode(bytes(datagram))
+
+    def test_length_mismatch(self):
+        datagram = encode(DataFrame(1, 0, 1, b"payload"))
+        with pytest.raises(WireError):
+            decode(datagram + b"extra")
+
+    def test_unknown_kind(self):
+        datagram = bytearray(encode(AckFrame(1, seq=0)))
+        datagram[3] = 42  # kind byte
+        with pytest.raises(WireError):
+            decode(bytes(datagram))
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            encode("not a frame")  # type: ignore[arg-type]
+
+    @given(noise=st.binary(min_size=0, max_size=80))
+    @settings(max_examples=100)
+    def test_random_bytes_never_crash(self, noise):
+        """decode() on garbage raises WireError, never anything else."""
+        try:
+            decode(noise)
+        except WireError:
+            pass
+
+    @given(payload=st.binary(max_size=200), position=st.integers(0, 10**6),
+           bit=st.integers(0, 7))
+    @settings(max_examples=150)
+    def test_single_bitflip_detected(self, payload, position, bit):
+        """Any single-bit corruption is caught (CRC-32 guarantees it)."""
+        datagram = bytearray(encode(DataFrame(1, 0, 1, payload)))
+        datagram[position % len(datagram)] ^= 1 << bit
+        with pytest.raises(WireError):
+            decode(bytes(datagram))

@@ -1,0 +1,102 @@
+"""Property-based tests: every engine delivers intact data under any
+scripted loss pattern (within termination bounds).
+
+These drive the full DES stack — hosts, medium, engines — with
+hypothesis-chosen drop patterns, the strongest "no corner case left"
+statement the reproduction makes about the protocol implementations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_transfer
+from repro.simnet import DeterministicDrops, NetworkParams
+
+PARAMS = NetworkParams.standalone()
+
+# Small transfers keep hypothesis fast; drop indices cover several rounds.
+drop_pattern = st.sets(st.integers(0, 25), max_size=8)
+
+
+def payload(n_packets: int) -> bytes:
+    return bytes((i * 37) % 256 for i in range(n_packets * 1024))
+
+
+class TestLossPatternConvergence:
+    @given(drops=drop_pattern, n=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_stop_and_wait_delivers(self, drops, n):
+        data = payload(n)
+        result = run_transfer(
+            "stop_and_wait", data, params=PARAMS,
+            error_model=DeterministicDrops(drops),
+        )
+        assert result.data_intact
+        assert result.data == data
+
+    @given(drops=drop_pattern, n=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_sliding_window_delivers(self, drops, n):
+        data = payload(n)
+        result = run_transfer(
+            "sliding_window", data, params=PARAMS,
+            error_model=DeterministicDrops(drops),
+        )
+        assert result.data_intact
+
+    @given(
+        drops=drop_pattern,
+        n=st.integers(1, 6),
+        strategy=st.sampled_from(
+            ["full_no_nak", "full_nak", "gobackn", "selective"]
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_blast_delivers_under_all_strategies(self, drops, n, strategy):
+        data = payload(n)
+        result = run_transfer(
+            "blast", data, params=PARAMS, strategy=strategy,
+            error_model=DeterministicDrops(drops),
+        )
+        assert result.data_intact
+        assert result.data == data
+        # Conservation: at least one frame per packet was sent, and
+        # every retransmitted frame is accounted for.
+        assert result.stats.data_frames_sent >= n
+        assert (
+            result.stats.data_frames_sent
+            == n + result.stats.retransmitted_data_frames
+        )
+
+    @given(drops=drop_pattern, n=st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_multiblast_delivers(self, drops, n):
+        data = payload(n)
+        result = run_transfer(
+            "multiblast", data, params=PARAMS, blast_packets=3,
+            strategy="selective", error_model=DeterministicDrops(drops),
+        )
+        assert result.data_intact
+        assert result.data == data
+
+    @given(
+        drops=drop_pattern,
+        strategy=st.sampled_from(["gobackn", "selective"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selective_never_sends_more_than_gobackn(self, drops, strategy):
+        """Work ordering under identical loss scripts: selective's frame
+        count is a lower bound for go-back-n's, which lower-bounds full."""
+        data = payload(5)
+        counts = {}
+        for s in ("selective", "gobackn", "full_nak"):
+            result = run_transfer(
+                "blast", data, params=PARAMS, strategy=s,
+                error_model=DeterministicDrops(drops),
+            )
+            assert result.data_intact
+            counts[s] = result.stats.data_frames_sent
+        assert counts["selective"] <= counts["gobackn"] + 2
+        # (+2 slack: reliable-last retries can differ by a frame when the
+        # loss script hits different wire positions across strategies.)

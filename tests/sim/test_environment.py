@@ -1,0 +1,127 @@
+"""Unit tests for the environment's run loop and scheduling discipline."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_respected(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_time(self):
+        env = Environment()
+        env.timeout(10)
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_exhausts_schedule(self):
+        env = Environment()
+        env.timeout(3)
+        env.timeout(7)
+        env.run()
+        assert env.now == 7
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self):
+        env = Environment()
+        env.timeout(4)
+        env.timeout(2)
+        assert env.peek() == 2
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(5)
+            return "payload"
+
+        proc = env.process(worker())
+        assert env.run(proc) == "payload"
+        assert env.now == 5
+
+    def test_until_already_processed_event(self):
+        env = Environment()
+        t = env.timeout(1, value="v")
+        env.run()
+        assert env.run(t) == "v"
+
+    def test_until_event_never_fires_raises(self):
+        env = Environment()
+        orphan = env.event()
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            env.run(orphan)
+
+    def test_stops_before_later_events(self):
+        env = Environment()
+        late = env.timeout(100)
+        early = env.timeout(1)
+        env.run(early)
+        assert env.now == 1
+        assert not late.processed
+        env.run()
+        assert late.processed
+
+
+class TestFailurePropagation:
+    def test_unhandled_failed_event_raises(self):
+        env = Environment()
+        env.event().fail(ValueError("unhandled"))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        bad = env.event().fail(ValueError("defused"))
+        bad.defuse()
+        env.run()  # does not raise
+
+    def test_handled_failure_in_process_is_silent(self):
+        env = Environment()
+        bad = env.event()
+
+        def waiter():
+            try:
+                yield bad
+            except ValueError:
+                return "caught"
+
+        proc = env.process(waiter())
+        bad.fail(ValueError("x"))
+        assert env.run(proc) == "caught"
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timelines(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(name, delays):
+                for d in delays:
+                    yield env.timeout(d)
+                    log.append((name, env.now))
+
+            env.process(worker("x", [1, 2, 3]))
+            env.process(worker("y", [2, 2, 2]))
+            env.run()
+            return log
+
+        assert build() == build()

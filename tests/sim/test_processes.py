@@ -1,0 +1,181 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_runs_to_completion(self, env):
+        log = []
+
+        def worker():
+            log.append(env.now)
+            yield env.timeout(2)
+            log.append(env.now)
+            return "done"
+
+        proc = env.process(worker())
+        result = env.run(proc)
+        assert result == "done"
+        assert log == [0, 2]
+
+    def test_process_is_alive_until_return(self, env):
+        def worker():
+            yield env.timeout(1)
+
+        proc = env.process(worker())
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yield_non_event_fails_process(self, env):
+        def worker():
+            yield 42  # type: ignore[misc]
+
+        proc = env.process(worker())
+        with pytest.raises(TypeError):
+            env.run(proc)
+
+    def test_exception_in_process_propagates(self, env):
+        def worker():
+            yield env.timeout(1)
+            raise RuntimeError("kaput")
+
+        env.process(worker())
+        with pytest.raises(RuntimeError, match="kaput"):
+            env.run()
+
+    def test_process_waits_on_process(self, env):
+        def child():
+            yield env.timeout(3)
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            return value * 2
+
+        proc = env.process(parent())
+        assert env.run(proc) == 14
+        assert env.now == 3
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield env.timeout(period)
+                log.append((name, env.now))
+
+        env.process(ticker("a", 1))
+        env.process(ticker("b", 2))
+        env.run()
+        # At t=2 both fire; b's timeout was scheduled first (at t=0) so it
+        # is processed first — same-time events are FIFO by schedule order.
+        assert log == [
+            ("a", 1), ("b", 2), ("a", 2), ("a", 3), ("b", 4), ("b", 6),
+        ]
+
+    def test_yield_already_processed_event_resumes_immediately(self, env):
+        done = env.event().succeed("early")
+        env.run()
+
+        def waiter():
+            value = yield done
+            return (value, env.now)
+
+        proc = env.process(waiter())
+        assert env.run(proc) == ("early", 0)
+
+    def test_active_process_tracked(self, env):
+        observed = []
+
+        def worker():
+            observed.append(env.active_process)
+            yield env.timeout(0)
+
+        proc = env.process(worker())
+        env.run()
+        assert observed == [proc]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, env.now)
+            return "finished"
+
+        def attacker(proc):
+            yield env.timeout(5)
+            proc.interrupt("timeout expired")
+
+        victim_proc = env.process(victim())
+        env.process(attacker(victim_proc))
+        assert env.run(victim_proc) == ("interrupted", "timeout expired", 5)
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def worker():
+            with pytest.raises(RuntimeError):
+                env.active_process.interrupt()
+            yield env.timeout(0)
+
+        proc = env.process(worker())
+        env.run(proc)
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(100)
+
+        def attacker(proc):
+            yield env.timeout(1)
+            proc.interrupt("bang")
+
+        victim_proc = env.process(victim())
+        env.process(attacker(victim_proc))
+        with pytest.raises(Interrupt):
+            env.run()
+        assert not victim_proc.ok
+
+    def test_process_can_resume_waiting_after_interrupt(self, env):
+        """The protocol engines retry their waits after a timeout interrupt."""
+
+        def victim():
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    yield env.timeout(10)
+                    return (attempts, env.now)
+                except Interrupt:
+                    continue
+
+        def attacker(proc):
+            yield env.timeout(4)
+            proc.interrupt()
+
+        victim_proc = env.process(victim())
+        env.process(attacker(victim_proc))
+        # Interrupted at t=4, restarts its 10-unit wait, completes at t=14.
+        assert env.run(victim_proc) == (2, 14)

@@ -1,0 +1,177 @@
+"""Property-based tests of the simulation kernel's global invariants."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+class TestClockMonotonicity:
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=1e3), max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_events_processed_in_time_order(self, delays):
+        """However timeouts are created, callbacks fire in nondecreasing
+        simulated-time order and the clock never runs backwards."""
+        env = Environment()
+        fired = []
+        for delay in delays:
+            env.timeout(delay).add_callback(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        if delays:
+            assert env.now == max(delays)
+
+    @given(
+        spec=st.lists(
+            st.tuples(st.floats(0.0, 10.0), st.integers(1, 5)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=80)
+    def test_nested_process_spawning_preserves_order(self, spec):
+        """Processes spawning processes at random offsets still yield a
+        globally time-ordered execution."""
+        env = Environment()
+        log = []
+
+        def worker(delay, children):
+            yield env.timeout(delay)
+            log.append(env.now)
+            for _ in range(children - 1):
+                env.process(worker(delay / 2 + 0.1, 1))
+
+        for delay, children in spec:
+            env.process(worker(delay, children))
+        env.run()
+        assert log == sorted(log)
+
+
+class TestResourceInvariants:
+    @given(
+        jobs=st.lists(
+            st.tuples(st.floats(0.0, 5.0), st.floats(0.01, 2.0)),
+            min_size=1,
+            max_size=30,
+        ),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_holder_count_never_exceeds_capacity(self, jobs, capacity):
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+        active = [0]
+        peak = [0]
+
+        def worker(start, hold):
+            yield env.timeout(start)
+            with resource.request() as claim:
+                yield claim
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+                yield env.timeout(hold)
+                active[0] -= 1
+
+        for start, hold in jobs:
+            env.process(worker(start, hold))
+        env.run()
+        assert peak[0] <= capacity
+        assert active[0] == 0
+        assert resource.count == 0
+        assert resource.queued == 0
+
+    @given(
+        holds=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mutex_total_time_is_sum_of_holds(self, holds):
+        """A capacity-1 resource serialises perfectly: the makespan of
+        simultaneous arrivals equals the sum of the hold times."""
+        env = Environment()
+        resource = Resource(env)
+
+        def worker(hold):
+            with resource.request() as claim:
+                yield claim
+                yield env.timeout(hold)
+
+        for hold in holds:
+            env.process(worker(hold))
+        env.run()
+        assert abs(env.now - sum(holds)) < 1e-9 * max(1.0, sum(holds))
+
+
+class TestStoreInvariants:
+    @given(items=st.lists(st.integers(), max_size=50))
+    @settings(max_examples=80)
+    def test_fifo_conservation(self, items):
+        """Everything put is got, exactly once, in order."""
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            for _ in items:
+                got.append((yield store.get()))
+
+        env.process(consumer())
+        for item in items:
+            store.put(item)
+        env.run()
+        assert got == items
+
+    @given(
+        items=st.lists(st.integers(0, 9), min_size=1, max_size=40),
+        capacity=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_store_never_overfills(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        peaks = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                peaks.append(len(store))
+
+        def consumer():
+            for _ in items:
+                yield env.timeout(0.1)
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert max(peaks) <= capacity
+        assert len(store) == 0
+
+
+class TestHeapModel:
+    @given(
+        delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60),
+    )
+    @settings(max_examples=80)
+    def test_matches_reference_heap_schedule(self, delays):
+        """The kernel's processing order equals a reference heapsort of
+        (time, insertion-index) — the canonical DES contract."""
+        env = Environment()
+        order = []
+        for index, delay in enumerate(delays):
+            env.timeout(delay, value=index).add_callback(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        reference = [i for _, i in sorted(zip(delays, range(len(delays))))]
+        # Stable tie-breaking by insertion order.
+        heap = [(d, i) for i, d in enumerate(delays)]
+        heapq.heapify(heap)
+        reference = []
+        while heap:
+            reference.append(heapq.heappop(heap)[1])
+        assert order == reference

@@ -1,0 +1,108 @@
+"""Unit tests for Resource (CPU/mutex) semantics."""
+
+import pytest
+
+from repro.sim import Environment, Resource
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_when_free(self, env):
+        res = Resource(env)
+        req = res.request()
+        assert req.triggered
+        assert res.count == 1
+
+    def test_mutex_serialises_holders(self, env):
+        res = Resource(env)
+        log = []
+
+        def worker(name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", env.now))
+                yield env.timeout(hold)
+                log.append((name, "out", env.now))
+
+        env.process(worker("a", 3))
+        env.process(worker("b", 2))
+        env.run()
+        assert log == [
+            ("a", "in", 0), ("a", "out", 3), ("b", "in", 3), ("b", "out", 5),
+        ]
+
+    def test_fifo_granting(self, env):
+        res = Resource(env)
+        order = []
+
+        def worker(name):
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in ["first", "second", "third"]:
+            env.process(worker(name))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_capacity_two_allows_parallel_holders(self, env):
+        res = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker():
+            with res.request() as req:
+                yield req
+                active.append(1)
+                peak.append(len(active))
+                yield env.timeout(5)
+                active.pop()
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert max(peak) == 2
+        assert env.now == 10  # two batches of two
+
+    def test_release_wakes_waiter(self, env):
+        res = Resource(env)
+        req1 = res.request()
+        req2 = res.request()
+        assert req1.triggered and not req2.triggered
+        res.release(req1)
+        assert req2.triggered
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env)
+        held = res.request()
+        waiting = res.request()
+        waiting.cancel()
+        res.release(held)
+        assert not waiting.triggered
+        assert res.count == 0
+        assert res.queued == 0
+
+    def test_double_release_is_noop(self, env):
+        res = Resource(env)
+        req = res.request()
+        res.release(req)
+        res.release(req)  # no error
+        assert res.count == 0
+
+    def test_counts_reported(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.count == 1
+        assert res.queued == 2
+        assert res.capacity == 1

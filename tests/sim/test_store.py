@@ -1,0 +1,151 @@
+"""Unit tests for Store (FIFO queue) semantics."""
+
+import pytest
+
+from repro.sim import Environment, Store
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestStoreBasics:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        result = {}
+
+        def consumer():
+            result["item"] = yield store.get()
+            result["time"] = env.now
+
+        def producer():
+            yield env.timeout(7)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert result == {"item": "late", "time": 7}
+
+    def test_len_reflects_buffered_items(self, env):
+        store = Store(env)
+        store.put("x")
+        store.put("y")
+        env.run()
+        assert len(store) == 2
+
+    def test_bounded_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("one")
+            times.append(env.now)
+            yield store.put("two")
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [0, 5]
+
+    def test_try_put_respects_capacity(self, env):
+        store = Store(env, capacity=1)
+        assert store.try_put("a") is True
+        assert store.try_put("b") is False  # dropped, like a full NIC buffer
+        env.run()
+        assert list(store.items) == ["a"]
+
+    def test_try_put_unbounded_never_drops(self, env):
+        store = Store(env)
+        assert all(store.try_put(i) for i in range(100))
+
+
+class TestPredicateGets:
+    def test_predicate_selects_matching_item(self, env):
+        store = Store(env)
+        for item in ["ack:1", "data:2", "ack:3"]:
+            store.put(item)
+        got = []
+
+        def consumer():
+            got.append((yield store.get(lambda i: i.startswith("data"))))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["data:2"]
+        assert list(store.items) == ["ack:1", "ack:3"]
+
+    def test_predicate_get_waits_for_match(self, env):
+        store = Store(env)
+        store.put("noise")
+        result = {}
+
+        def consumer():
+            result["item"] = yield store.get(lambda i: i == "signal")
+            result["time"] = env.now
+
+        def producer():
+            yield env.timeout(3)
+            yield store.put("signal")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert result == {"item": "signal", "time": 3}
+
+    def test_cancel_get_withdraws_claim(self, env):
+        store = Store(env)
+        stale = store.get()
+        stale.cancel()
+        fresh = store.get()
+        store.put("only")
+        env.run()
+        assert not stale.triggered
+        assert fresh.value == "only"
+
+    def test_cancel_satisfied_get_is_noop(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        env.run()
+        got.cancel()  # already satisfied: no error
+        assert got.value == "x"
+
+    def test_two_consumers_split_items(self, env):
+        store = Store(env)
+        seen = []
+
+        def consumer(name):
+            item = yield store.get()
+            seen.append((name, item))
+
+        env.process(consumer("c1"))
+        env.process(consumer("c2"))
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert sorted(seen) == [("c1", "a"), ("c2", "b")]

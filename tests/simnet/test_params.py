@@ -1,0 +1,113 @@
+"""Unit tests for network parameters and the copy-cost calibration."""
+
+import pytest
+
+from repro.simnet import CopyCostModel, NetworkParams
+from repro.simnet.params import (
+    STANDALONE_COPY_POINTS,
+    VKERNEL_COPY_POINTS,
+)
+
+
+class TestCopyCostModel:
+    def test_calibration_reproduces_anchors_exactly(self):
+        model = CopyCostModel.from_calibration(STANDALONE_COPY_POINTS)
+        assert model.copy_time(1024) == pytest.approx(1.35e-3, rel=1e-12)
+        assert model.copy_time(64) == pytest.approx(0.17e-3, rel=1e-12)
+
+    def test_vkernel_calibration(self):
+        model = CopyCostModel.from_calibration(VKERNEL_COPY_POINTS)
+        assert model.copy_time(1024) == pytest.approx(1.83e-3, rel=1e-12)
+        assert model.copy_time(64) == pytest.approx(0.67e-3, rel=1e-12)
+
+    def test_copy_time_is_monotone_in_size(self):
+        model = CopyCostModel.from_calibration(STANDALONE_COPY_POINTS)
+        times = [model.copy_time(n) for n in (0, 64, 512, 1024, 1536)]
+        assert times == sorted(times)
+        assert times[0] == model.setup_s
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            CopyCostModel(setup_s=-1e-6, bytes_per_second=1e6)
+        with pytest.raises(ValueError):
+            CopyCostModel(setup_s=0.0, bytes_per_second=0.0)
+        model = CopyCostModel(1e-6, 1e6)
+        with pytest.raises(ValueError):
+            model.copy_time(-1)
+
+    def test_degenerate_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            CopyCostModel.from_calibration(((100, 1e-3), (100, 2e-3)))
+        with pytest.raises(ValueError):
+            # Larger frame cheaper to copy: impossible.
+            CopyCostModel.from_calibration(((1024, 0.1e-3), (64, 0.2e-3)))
+
+    def test_scaled_adds_fixed_overhead(self):
+        model = CopyCostModel.from_calibration(STANDALONE_COPY_POINTS)
+        heavier = model.scaled(0.5e-3)
+        assert heavier.copy_time(1024) == pytest.approx(model.copy_time(1024) + 0.5e-3)
+        assert heavier.bytes_per_second == model.bytes_per_second
+
+
+class TestNetworkParams:
+    def test_paper_constants_standalone(self):
+        p = NetworkParams.standalone()
+        # Table 2 of the paper: C=1.35 ms, T=0.82 ms, Ca=0.17 ms, Ta=0.05 ms.
+        assert p.copy_data_s == pytest.approx(1.35e-3)
+        assert p.copy_ack_s == pytest.approx(0.17e-3)
+        assert p.transmit_data_s == pytest.approx(819.2e-6)  # 1024 B at 10 Mb/s
+        assert p.transmit_ack_s == pytest.approx(51.2e-6)    # 64 B at 10 Mb/s
+
+    def test_paper_constants_vkernel(self):
+        p = NetworkParams.vkernel()
+        assert p.copy_data_s == pytest.approx(1.83e-3)
+        assert p.copy_ack_s == pytest.approx(0.67e-3)
+
+    def test_observed_mode_adds_device_latency(self):
+        accounted = NetworkParams.standalone()
+        observed = NetworkParams.standalone(observed=True)
+        assert accounted.device_latency_s == 0.0
+        assert observed.device_latency_s == pytest.approx(85e-6)
+
+    def test_transmission_time_scales_with_size(self):
+        p = NetworkParams.standalone()
+        assert p.transmission_time(0) == 0.0
+        assert p.transmission_time(1250) == pytest.approx(1e-3)  # 10 kb / 10 Mb/s
+        with pytest.raises(ValueError):
+            p.transmission_time(-1)
+
+    def test_double_buffering_factory(self):
+        p = NetworkParams.standalone().with_double_buffering()
+        assert p.tx_buffers == 2
+        # Everything else unchanged.
+        assert p.copy_data_s == pytest.approx(1.35e-3)
+
+    def test_overrides_via_factories(self):
+        p = NetworkParams.standalone(propagation_delay_s=0.0, tx_buffers=3)
+        assert p.propagation_delay_s == 0.0
+        assert p.tx_buffers == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth_bps": 0},
+            {"propagation_delay_s": -1e-6},
+            {"data_packet_bytes": 0},
+            {"ack_bytes": -1},
+            {"device_latency_s": -1e-9},
+            {"tx_buffers": 0},
+            {"rx_buffers": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkParams(**kwargs)
+
+    def test_kernel_overhead_is_roughly_constant_per_frame(self):
+        """Section 2.2: the kernel adds ~0.5 ms per frame regardless of size."""
+        standalone = NetworkParams.standalone()
+        kernel = NetworkParams.vkernel()
+        data_overhead = kernel.copy_data_s - standalone.copy_data_s
+        ack_overhead = kernel.copy_ack_s - standalone.copy_ack_s
+        assert data_overhead == pytest.approx(0.48e-3, rel=1e-9)
+        assert ack_overhead == pytest.approx(0.50e-3, rel=1e-9)

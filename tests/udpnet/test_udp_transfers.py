@@ -1,0 +1,188 @@
+"""End-to-end tests of the UDP transport over loopback.
+
+Each test runs the receiver in a thread and the sender in the test
+thread.  Timeouts are generous to keep CI machines happy; correctness
+(intact delivery under loss) is the assertion, not speed.
+"""
+
+import threading
+
+import pytest
+
+from repro.simnet import BernoulliErrors, DeterministicDrops
+from repro.udpnet import (
+    BlastReceiver,
+    BlastSender,
+    PerPacketAckReceiver,
+    SawSender,
+    SlidingWindowSender,
+)
+
+DATA = bytes(range(256)) * 32  # 8 KB -> 8 packets
+
+
+def run_pair(receiver, serve_kwargs, send_fn):
+    """Drive receiver.serve_one in a thread while send_fn runs here."""
+    box = {}
+
+    def serve():
+        box["received"] = receiver.serve_one(**serve_kwargs)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    box["sent"] = send_fn()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "receiver thread hung"
+    return box["sent"], box["received"]
+
+
+class TestStopAndWaitUdp:
+    def test_lossless_transfer(self):
+        with PerPacketAckReceiver() as receiver, SawSender() as sender:
+            sent, received = run_pair(
+                receiver, {}, lambda: sender.send(DATA, receiver.address)
+            )
+        assert sent.ok
+        assert received.ok
+        assert received.data == DATA
+        assert sent.data_frames_sent == 8
+
+    def test_transfer_with_injected_loss(self):
+        with PerPacketAckReceiver() as receiver, SawSender(
+            error_model=BernoulliErrors(0.2, seed=31)
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {}, lambda: sender.send(DATA, receiver.address)
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.retransmissions > 0
+
+
+class TestSlidingWindowUdp:
+    def test_lossless_transfer(self):
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender() as sender:
+            sent, received = run_pair(
+                receiver, {}, lambda: sender.send(DATA, receiver.address)
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.rounds == 1
+
+    def test_selective_repeat_under_loss(self):
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender(
+            error_model=BernoulliErrors(0.25, seed=32)
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {}, lambda: sender.send(DATA, receiver.address)
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.rounds > 1
+
+
+class TestBlastUdp:
+    @pytest.mark.parametrize("strategy", ["full_nak", "gobackn", "selective"])
+    def test_lossless_transfer(self, strategy):
+        with BlastReceiver() as receiver, BlastSender() as sender:
+            sent, received = run_pair(
+                receiver,
+                {},
+                lambda: sender.send(DATA, receiver.address, strategy=strategy),
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.rounds == 1
+        assert sent.data_frames_sent == 8
+        assert received.reply_frames_sent == 1  # a single ack for the blast
+
+    def test_full_no_nak_with_silent_receiver(self):
+        with BlastReceiver() as receiver, BlastSender(
+            error_model=DeterministicDrops([2])
+        ) as sender:
+            sent, received = run_pair(
+                receiver,
+                {"nak": False},
+                lambda: sender.send(
+                    DATA, receiver.address, strategy="full_no_nak", timeout_s=0.1
+                ),
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.timeouts >= 1        # silence forced the timer
+        assert sent.data_frames_sent >= 16  # full retransmission
+
+    def test_gobackn_resends_tail_only(self):
+        with BlastReceiver() as receiver, BlastSender(
+            error_model=DeterministicDrops([5])  # lose data packet seq 5
+        ) as sender:
+            sent, received = run_pair(
+                receiver,
+                {},
+                lambda: sender.send(DATA, receiver.address, strategy="gobackn"),
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.rounds == 2
+        assert sent.data_frames_sent == 8 + 3  # seqs 5, 6, 7
+
+    def test_selective_resends_exactly_missing(self):
+        with BlastReceiver() as receiver, BlastSender(
+            error_model=DeterministicDrops([1, 5])
+        ) as sender:
+            sent, received = run_pair(
+                receiver,
+                {},
+                lambda: sender.send(DATA, receiver.address, strategy="selective"),
+            )
+        assert sent.ok
+        assert received.data == DATA
+        assert sent.data_frames_sent == 8 + 2
+
+    def test_heavy_loss_still_delivers(self):
+        with BlastReceiver() as receiver, BlastSender(
+            error_model=BernoulliErrors(0.25, seed=33)
+        ) as sender:
+            sent, received = run_pair(
+                receiver,
+                {},
+                lambda: sender.send(DATA, receiver.address, strategy="selective"),
+            )
+        assert sent.ok
+        assert received.data == DATA
+
+    def test_large_transfer(self):
+        big = bytes(256) * 1024  # 256 KB -> 256 packets
+        with BlastReceiver() as receiver, BlastSender() as sender:
+            sent, received = run_pair(
+                receiver,
+                {},
+                lambda: sender.send(big, receiver.address, strategy="gobackn"),
+            )
+        assert sent.ok
+        assert received.data == big
+        assert received.n_packets == 256
+
+
+class TestOutcomeAccounting:
+    def test_throughput_positive(self):
+        with BlastReceiver() as receiver, BlastSender() as sender:
+            sent, _ = run_pair(
+                receiver, {}, lambda: sender.send(DATA, receiver.address)
+            )
+        assert sent.throughput_bps > 0
+
+    def test_receiver_first_timeout(self):
+        with BlastReceiver() as receiver:
+            outcome = receiver.serve_one(first_timeout_s=0.05)
+        assert not outcome.ok
+        assert "timed out" in outcome.error
+
+    def test_lossy_socket_counters(self):
+        sender = SawSender(error_model=DeterministicDrops([0]))
+        try:
+            sender.sock.sendto(b"x", ("127.0.0.1", 9))  # dropped
+            assert sender.sock.datagrams_dropped == 1
+            assert sender.sock.loss_rate == 1.0
+        finally:
+            sender.close()

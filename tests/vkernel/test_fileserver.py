@@ -1,0 +1,142 @@
+"""Tests for the V-style file server and client."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simnet import BernoulliErrors, NetworkParams, make_lan
+from repro.vkernel import FileClient, FileServer, SimDisk, VKernel
+
+
+def build(error_model=None, files=None, disk=None, cache=True):
+    env = Environment()
+    host_a, host_b, _ = make_lan(
+        env, NetworkParams.vkernel(), error_model=error_model,
+        names=("server", "client"),
+    )
+    server_kernel = VKernel(env, host_a, kernel_id=1)
+    client_kernel = VKernel(env, host_b, kernel_id=2)
+    server = FileServer(server_kernel, files=files, disk=disk, cache=cache)
+    client = FileClient(client_kernel, server.ref)
+    return env, server, client
+
+
+class TestSimDisk:
+    def test_read_time_model(self):
+        disk = SimDisk(seek_s=0.02, rate_bytes_per_s=1e6)
+        assert disk.read_time(0) == pytest.approx(0.02)
+        assert disk.read_time(1_000_000) == pytest.approx(1.02)
+        with pytest.raises(ValueError):
+            disk.read_time(-1)
+
+    def test_large_reads_amortise_seek(self):
+        """The paper's motivation: per-request fixed costs favour large
+        pages — bytes/second improves with request size."""
+        disk = SimDisk()
+        small = 1024 / disk.read_time(1024)
+        large = 65536 / disk.read_time(65536)
+        assert large > 5 * small
+
+
+class TestFileReadWrite:
+    def test_read_round_trip(self):
+        content = bytes(range(256)) * 200  # 51200 B
+        env, server, client = build(files={"data.bin": content})
+
+        def body():
+            size = yield from client.stat("data.bin")
+            data = yield from client.read_file("data.bin", size)
+            return data
+
+        proc = env.process(body())
+        assert env.run(proc) == content
+
+    def test_write_then_read(self):
+        env, server, client = build()
+        payload = b"written by the client" * 512
+
+        def body():
+            n = yield from client.write_file("new.bin", payload)
+            assert n == len(payload)
+            data = yield from client.read_file("new.bin", len(payload))
+            return data
+
+        proc = env.process(body())
+        assert env.run(proc) == payload
+        assert server.files["new.bin"] == payload
+
+    def test_missing_file_errors(self):
+        env, _, client = build()
+
+        def body():
+            try:
+                yield from client.read_file("ghost", 10)
+            except OSError as exc:
+                return str(exc)
+
+        proc = env.process(body())
+        assert "no such file" in env.run(proc)
+
+    def test_stat_missing_file(self):
+        env, _, client = build()
+
+        def body():
+            with pytest.raises(OSError):
+                yield from client.stat("ghost")
+            return "checked"
+
+        proc = env.process(body())
+        assert env.run(proc) == "checked"
+
+    def test_short_client_buffer_reported_not_crashed(self):
+        env, _, client = build(files={"big": bytes(4096)})
+
+        def body():
+            try:
+                yield from client.read_file("big", 10)  # buffer too small
+            except OSError as exc:
+                return str(exc)
+
+        proc = env.process(body())
+        assert "too small" in env.run(proc)
+
+    def test_read_through_lossy_network(self):
+        content = bytes(range(256)) * 64
+        env, _, client = build(
+            files={"f": content}, error_model=BernoulliErrors(0.05, seed=17)
+        )
+
+        def body():
+            data = yield from client.read_file("f", len(content))
+            return data
+
+        proc = env.process(body())
+        assert env.run(proc) == content
+
+    def test_cache_skips_disk_on_second_read(self):
+        content = bytes(16 * 1024)
+        slow_disk = SimDisk(seek_s=0.5, rate_bytes_per_s=1e6)
+        env, _, client = build(files={"f": content}, disk=slow_disk)
+
+        def body():
+            t0 = env.now
+            yield from client.read_file("f", len(content))
+            first = env.now - t0
+            t1 = env.now
+            yield from client.read_file("f", len(content))
+            second = env.now - t1
+            return first, second
+
+        proc = env.process(body())
+        first, second = env.run(proc)
+        assert first > 0.5          # paid the seek
+        assert second < first - 0.4  # served from cache
+
+    def test_server_counts_requests(self):
+        env, server, client = build(files={"f": b"x"})
+
+        def body():
+            yield from client.stat("f")
+            yield from client.read_file("f", 1)
+
+        env.run(env.process(body()))
+        assert server.requests_served == 2

@@ -1,0 +1,253 @@
+"""Tests for the V-kernel substrate: IPC, MoveTo/MoveFrom, preconditions."""
+
+import pytest
+
+from repro.core import run_transfer
+from repro.sim import Environment
+from repro.simnet import BernoulliErrors, NetworkParams, make_lan
+from repro.vkernel import IpcError, MoveError, ProcessRef, VKernel
+
+
+@pytest.fixture()
+def lan():
+    env = Environment()
+    host_a, host_b, medium = make_lan(
+        env, NetworkParams.vkernel(), names=("alpha", "beta")
+    )
+    ka = VKernel(env, host_a, kernel_id=1)
+    kb = VKernel(env, host_b, kernel_id=2)
+    return env, ka, kb
+
+
+class TestProcesses:
+    def test_create_and_lookup(self, lan):
+        _, ka, _ = lan
+        proc = ka.create_process("worker")
+        assert ka.lookup(proc.ref) is proc
+        assert proc.ref == ProcessRef(1, proc.pid)
+
+    def test_lookup_remote_ref_rejected(self, lan):
+        _, ka, kb = lan
+        remote = kb.create_process("remote")
+        with pytest.raises(IpcError):
+            ka.lookup(remote.ref)
+
+    def test_duplicate_kernel_id_rejected(self, lan):
+        env, ka, _ = lan
+        with pytest.raises(ValueError):
+            VKernel(env, ka.host, kernel_id=1)
+
+    def test_buffers(self, lan):
+        _, ka, _ = lan
+        proc = ka.create_process("p")
+        proc.allocate("buf", 10)
+        assert proc.read_buffer("buf") == bytes(10)
+        proc.write_buffer("buf", b"hello")
+        assert proc.read_buffer("buf") == b"hello"
+        with pytest.raises(MoveError):
+            proc.read_buffer("nope")
+        with pytest.raises(ValueError):
+            proc.allocate("bad", -1)
+
+
+class TestSendReceiveReply:
+    def test_remote_rendezvous(self, lan):
+        env, ka, kb = lan
+        client = ka.create_process("client")
+        server = kb.create_process("server")
+        log = []
+
+        def server_body():
+            request = yield from kb.receive(server)
+            log.append(request.payload)
+            yield from kb.reply(server, request, "pong", 42)
+
+        def client_body():
+            reply = yield from ka.send(client, server.ref, "ping")
+            return reply
+
+        env.process(server_body())
+        proc = env.process(client_body())
+        assert env.run(proc) == ("pong", 42)
+        assert log == [("ping",)]
+        assert env.now > 0  # messages actually crossed the wire
+
+    def test_local_rendezvous(self, lan):
+        env, ka, _ = lan
+        a = ka.create_process("a")
+        b = ka.create_process("b")
+
+        def server_body():
+            request = yield from ka.receive(b)
+            yield from ka.reply(b, request, request.payload[0] * 2)
+
+        def client_body():
+            reply = yield from ka.send(a, b.ref, 21)
+            return reply[0]
+
+        env.process(server_body())
+        proc = env.process(client_body())
+        assert env.run(proc) == 42
+
+    def test_send_retransmits_through_loss(self):
+        env = Environment()
+        host_a, host_b, _ = make_lan(
+            env, NetworkParams.vkernel(),
+            error_model=BernoulliErrors(0.3, seed=99),
+        )
+        ka = VKernel(env, host_a, kernel_id=1, send_timeout_s=0.05)
+        kb = VKernel(env, host_b, kernel_id=2, send_timeout_s=0.05)
+        client = ka.create_process("client")
+        server = kb.create_process("server")
+        served = []
+
+        def server_body():
+            while True:
+                request = yield from kb.receive(server)
+                served.append(request.msg_id)
+                yield from kb.reply(server, request, "ok")
+
+        def client_body():
+            for _ in range(5):
+                reply = yield from ka.send(client, server.ref, "req")
+                assert reply == ("ok",)
+            return len(served)
+
+        env.process(server_body())
+        proc = env.process(client_body())
+        # Despite 30% frame loss every request completes exactly once.
+        assert env.run(proc) == 5
+        assert sorted(served) == sorted(set(served))
+
+    def test_reply_to_non_send_rejected(self, lan):
+        env, ka, kb = lan
+        proc = ka.create_process("p")
+        from repro.vkernel import MessageFrame, MessageKind
+
+        bogus = MessageFrame(MessageKind.REPLY, proc.ref, proc.ref, 1)
+        with pytest.raises(IpcError):
+            # reply() validates before yielding anything.
+            next(ka.reply(proc, bogus, "x"))
+
+
+class TestMoveToFrom:
+    def test_remote_move_to(self, lan):
+        env, ka, kb = lan
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        dst.allocate("inbox", 8 * 1024)
+        payload = bytes(range(256)) * 32
+
+        def body():
+            result = yield from ka.move_to(src, dst.ref, "inbox", payload)
+            return result
+
+        proc = env.process(body())
+        result = env.run(proc)
+        assert dst.read_buffer("inbox") == payload
+        assert result.protocol == "blast"
+        assert result.data_intact
+
+    def test_move_to_matches_plain_blast_timing(self, lan):
+        """MoveTo is the blast protocol: same elapsed time as Table 3."""
+        env, ka, kb = lan
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        data = bytes(64 * 1024)
+        dst.allocate("inbox", len(data))
+
+        def body():
+            start = env.now
+            yield from ka.move_to(src, dst.ref, "inbox", data)
+            return env.now - start
+
+        proc = env.process(body())
+        elapsed = env.run(proc)
+        reference = run_transfer("blast", data, params=NetworkParams.vkernel())
+        assert elapsed == pytest.approx(reference.elapsed_s, rel=1e-9)
+        assert elapsed == pytest.approx(173e-3, abs=1e-3)  # paper's T0(64)
+
+    def test_remote_move_from(self, lan):
+        env, ka, kb = lan
+        reader = ka.create_process("reader")
+        holder = kb.create_process("holder")
+        payload = b"remote contents" * 100
+        holder.write_buffer("outbox", payload)
+
+        def body():
+            data = yield from ka.move_from(reader, holder.ref, "outbox")
+            return data
+
+        proc = env.process(body())
+        assert env.run(proc) == payload
+
+    def test_local_move_to(self, lan):
+        env, ka, _ = lan
+        a = ka.create_process("a")
+        b = ka.create_process("b")
+        b.allocate("buf", 100)
+
+        def body():
+            result = yield from ka.move_to(a, b.ref, "buf", b"x" * 100)
+            return result
+
+        proc = env.process(body())
+        assert env.run(proc) is None  # local move: no blast result
+        assert b.read_buffer("buf") == b"x" * 100
+        assert env.now > 0  # but the copy cost time
+
+    def test_move_to_missing_buffer_rejected(self, lan):
+        env, ka, kb = lan
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+
+        def body():
+            yield from ka.move_to(src, dst.ref, "nowhere", b"data")
+
+        proc = env.process(body())
+        with pytest.raises(MoveError, match="must.*allocate"):
+            env.run(proc)
+
+    def test_move_to_short_buffer_rejected(self, lan):
+        env, ka, kb = lan
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        dst.allocate("small", 10)
+
+        def body():
+            yield from ka.move_to(src, dst.ref, "small", b"x" * 11)
+
+        proc = env.process(body())
+        with pytest.raises(MoveError, match="too small"):
+            env.run(proc)
+
+    def test_move_to_offset(self, lan):
+        env, ka, kb = lan
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        dst.allocate("buf", 8)
+
+        def body():
+            yield from ka.move_to(src, dst.ref, "buf", b"ab", offset=3)
+
+        env.run(env.process(body()))
+        assert dst.read_buffer("buf") == b"\0\0\0ab\0\0\0"
+
+    def test_move_to_survives_loss(self):
+        env = Environment()
+        host_a, host_b, _ = make_lan(
+            env, NetworkParams.vkernel(),
+            error_model=BernoulliErrors(0.05, seed=5),
+        )
+        ka = VKernel(env, host_a, kernel_id=1)
+        kb = VKernel(env, host_b, kernel_id=2)
+        src = ka.create_process("src")
+        dst = kb.create_process("dst")
+        payload = bytes(range(256)) * 128  # 32 KB
+        dst.allocate("inbox", len(payload))
+
+        def body():
+            yield from ka.move_to(src, dst.ref, "inbox", payload, strategy="selective")
+
+        env.run(env.process(body()))
+        assert dst.read_buffer("inbox") == payload
