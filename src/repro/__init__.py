@@ -16,6 +16,7 @@ Packages
 ``repro.vkernel``    V-kernel-style IPC with MoveTo/MoveFrom
 ``repro.udpnet``     real UDP/loopback implementation of the protocols
 ``repro.workloads``  transfer-size and trace generators
+``repro.parallel``   sharded experiment pool, batched samplers, result cache
 ``repro.bench``      experiment harness regenerating every table/figure
 """
 
@@ -35,6 +36,8 @@ from .simnet import BernoulliErrors, NetworkParams, TraceRecorder, make_lan
 
 __version__ = "1.0.0"
 
+from .parallel import ExperimentPool, ResultCache  # noqa: E402
+
 __all__ = [
     "run_transfer",
     "run_many",
@@ -50,5 +53,7 @@ __all__ = [
     "BernoulliErrors",
     "TraceRecorder",
     "make_lan",
+    "ExperimentPool",
+    "ResultCache",
     "__version__",
 ]

@@ -28,6 +28,7 @@ Strategy mechanics follow the paper exactly:
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import statistics
 from dataclasses import dataclass
@@ -74,6 +75,8 @@ class TrialSummary:
 
     @classmethod
     def from_samples(cls, samples: Sequence[TransferSample]) -> "TrialSummary":
+        if not samples:
+            raise ValueError("no results to summarise")
         elapsed = [s.elapsed_s for s in samples]
         return cls(
             n_trials=len(samples),
@@ -297,30 +300,64 @@ def run_trials(
     seed: int = 0,
     t_retry_last: Optional[float] = None,
     cumulative: bool = False,
+    n_jobs: int = 1,
+    cache=None,
+    fast: bool = False,
+    shard_size: Optional[int] = None,
 ) -> TrialSummary:
     """Run ``n_trials`` independent transfers and summarise.
 
     ``strategy`` may also be ``"saw"`` for the stop-and-wait baseline.
+
+    The run is cut into fixed-size shards, shard *k* drawing from the
+    stream ``random.Random(mix_seed(seed, k))`` — so the result is
+    byte-identical for every ``n_jobs`` (``1`` executes the shards
+    sequentially in-process; ``N`` fans them over a process pool;
+    ``-1`` uses every CPU).
+
+    ``fast=True`` opts into the batched samplers of
+    :mod:`repro.parallel.batched` for the strategies that support them
+    (``full_no_nak``, ``full_nak``, ``saw``) — same distributions, a
+    different (still deterministic) random stream.  ``cache`` accepts a
+    :class:`repro.parallel.cache.ResultCache`; the key covers every
+    result-affecting parameter (not ``n_jobs``, which cannot change the
+    result).
     """
-    rng = random.Random(seed)
-    cost = RoundCostModel(params)
-    samples: List[TransferSample] = []
-    for _ in range(n_trials):
-        if strategy == "saw":
-            samples.append(
-                simulate_saw_transfer(d_packets, p_n, t_retry, cost, rng)
-            )
-        else:
-            samples.append(
-                simulate_blast_transfer(
-                    strategy,
-                    d_packets,
-                    p_n,
-                    t_retry,
-                    cost,
-                    rng,
-                    t_retry_last=t_retry_last,
-                    cumulative=cumulative,
-                )
-            )
-    return TrialSummary.from_samples(samples)
+    from ..parallel.pool import DEFAULT_TRIAL_SHARD_SIZE, ExperimentPool
+
+    if shard_size is None:
+        shard_size = DEFAULT_TRIAL_SHARD_SIZE
+    if cache is not None:
+        config = {
+            "strategy": strategy,
+            "d_packets": d_packets,
+            "p_n": p_n,
+            "n_trials": n_trials,
+            "t_retry": t_retry,
+            "params": params,
+            "seed": seed,
+            "t_retry_last": t_retry_last,
+            "cumulative": cumulative,
+            "fast": fast,
+            "shard_size": shard_size,
+        }
+        hit = cache.get("trials", config)
+        if hit is not None:
+            return TrialSummary(**hit)
+    samples = ExperimentPool(n_jobs).map_trials(
+        strategy,
+        d_packets,
+        p_n,
+        n_trials,
+        t_retry,
+        params=params,
+        seed=seed,
+        t_retry_last=t_retry_last,
+        cumulative=cumulative,
+        fast=fast,
+        shard_size=shard_size,
+    )
+    summary = TrialSummary.from_samples(samples)
+    if cache is not None:
+        cache.put("trials", config, dataclasses.asdict(summary))
+    return summary

@@ -7,6 +7,7 @@ repository reproduces without knowing the module layout.
 
 from __future__ import annotations
 
+import inspect
 from pathlib import Path
 from typing import Callable, Dict, Union
 
@@ -39,14 +40,38 @@ EXPERIMENTS: Dict[str, Callable[[], Artifact]] = {
 }
 
 
-def render_experiment(experiment_id: str) -> str:
-    """Regenerate one experiment and render it as text."""
+def _experiment_kwargs(func: Callable, n_jobs: int, cache) -> Dict[str, object]:
+    """Keep only the engine kwargs ``func`` actually accepts.
+
+    Closed-form experiments (the tables, figure 1/3) take neither; the
+    Monte Carlo figures take both.  Inspecting the signature keeps the
+    registry oblivious to which is which.
+    """
+    accepted = inspect.signature(func).parameters
+    kwargs: Dict[str, object] = {}
+    if "n_jobs" in accepted:
+        kwargs["n_jobs"] = n_jobs
+    if "cache" in accepted:
+        kwargs["cache"] = cache
+    return kwargs
+
+
+def render_experiment(
+    experiment_id: str, n_jobs: int = 1, cache=None
+) -> str:
+    """Regenerate one experiment and render it as text.
+
+    ``n_jobs`` / ``cache`` are forwarded to experiments whose functions
+    accept them (the Monte Carlo ones); results are identical for every
+    worker count.
+    """
     if experiment_id not in EXPERIMENTS:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         )
-    artifact = EXPERIMENTS[experiment_id]()
+    func = EXPERIMENTS[experiment_id]
+    artifact = func(**_experiment_kwargs(func, n_jobs, cache))
     if isinstance(artifact, str):
         return artifact
     text = artifact.render()
@@ -58,13 +83,17 @@ def render_experiment(experiment_id: str) -> str:
     return text
 
 
-def regenerate_all(out_dir: Union[str, Path]) -> Dict[str, Path]:
+def regenerate_all(
+    out_dir: Union[str, Path], n_jobs: int = 1, cache=None
+) -> Dict[str, Path]:
     """Regenerate every experiment into ``out_dir``; returns id -> path."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: Dict[str, Path] = {}
     for experiment_id in EXPERIMENTS:
         path = out / f"{experiment_id}.txt"
-        path.write_text(render_experiment(experiment_id) + "\n")
+        path.write_text(
+            render_experiment(experiment_id, n_jobs=n_jobs, cache=cache) + "\n"
+        )
         written[experiment_id] = path
     return written

@@ -17,10 +17,17 @@ Examples
     python -m repro compare --size 65536
     python -m repro table 2
     python -m repro figure 5
+    python -m repro --jobs 4 figure 6
     python -m repro timeline --protocol blast --packets 3
     python -m repro udp recv --port 47000
     python -m repro udp send 127.0.0.1:47000 --size 65536 --loss 0.05
+    python -m repro regen --jobs 4
+    python -m repro regen --no-cache
     python -m repro moveto --size 65536 --error-p 1e-4
+
+The global ``--jobs N`` flag fans Monte Carlo work across ``N`` worker
+processes (``-1`` = one per CPU).  Seed sharding is deterministic, so
+the output is byte-identical for every worker count.
 """
 
 from __future__ import annotations
@@ -66,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Zwaenepoel 1985 large-transfer protocols: experiments and transports",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for stochastic experiments "
+             "(-1 = one per CPU; results are identical for any N)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -119,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
         "regen", help="regenerate every paper table/figure into a directory"
     )
     regen.add_argument("--out", default="results")
+    regen.add_argument(
+        "--jobs", type=int, default=None, dest="regen_jobs", metavar="N",
+        help="worker processes (overrides the global --jobs)",
+    )
+    regen.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; skip the on-disk result cache",
+    )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
     moveto.add_argument("--size", type=_parse_size, default=64 * 1024)
@@ -152,7 +172,7 @@ def _cmd_compare(args) -> int:
         else:
             summary = run_many(
                 protocol, data, error_p=args.error_p, n_runs=args.runs,
-                params=params, seed=args.seed,
+                params=params, seed=args.seed, n_jobs=args.jobs,
             )
             table.add_row(protocol, format_ms(summary.mean_s),
                           format_ms(summary.std_s), summary.all_intact)
@@ -178,12 +198,14 @@ def _cmd_figure(args) -> int:
         figure6_stddev,
     )
 
-    artifact = {
+    func = {
         3: figure3_timelines,
         4: figure4_protocol_comparison,
         5: figure5_expected_time,
         6: figure6_stddev,
-    }[args.number]()
+    }[args.number]
+    kwargs = {"n_jobs": args.jobs} if args.number in (5, 6) else {}
+    artifact = func(**kwargs)
     print(artifact.render())
     return 0
 
@@ -256,11 +278,18 @@ def _cmd_udp(args) -> int:
 
 def _cmd_regen(args) -> int:
     from .bench import regenerate_all
+    from .parallel import ResultCache
 
-    written = regenerate_all(args.out)
+    n_jobs = args.regen_jobs if args.regen_jobs is not None else args.jobs
+    cache = None if args.no_cache else ResultCache()
+    written = regenerate_all(args.out, n_jobs=n_jobs, cache=cache)
     for experiment_id, path in sorted(written.items()):
         print(f"wrote {path}")
     print(f"{len(written)} artifacts regenerated")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses "
+              f"({cache.root})")
     return 0
 
 

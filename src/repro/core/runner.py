@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Sequence, Type
 
 from ..sim import Environment
 from ..simnet import (
-    BernoulliErrors,
     ErrorModel,
     NetworkParams,
     TraceRecorder,
@@ -92,6 +91,8 @@ class RunSummary:
 
     @classmethod
     def from_results(cls, results: Sequence[TransferResult]) -> "RunSummary":
+        if not results:
+            raise ValueError("no results to summarise")
         elapsed = [r.elapsed_s for r in results]
         return cls(
             protocol=results[0].protocol,
@@ -116,25 +117,51 @@ def run_many(
     n_runs: int,
     params: Optional[NetworkParams] = None,
     seed: int = 0,
+    n_jobs: int = 1,
+    cache=None,
     **transfer_kwargs,
 ) -> RunSummary:
     """Repeat a transfer ``n_runs`` times under Bernoulli loss ``error_p``.
 
     Each run gets a fresh LAN and a derived seed, so runs are independent
-    but the whole experiment is reproducible.
+    but the whole experiment is reproducible.  Run *i*'s loss-model seed
+    is ``mix_seed(seed, i)`` — keyed by the global run index, never by
+    worker layout, so ``n_jobs=1`` and ``n_jobs=8`` summarise identical
+    result sequences.  (The old ``seed * 1_000_003 + i`` derivation
+    collided across nearby root seeds, e.g. ``(0, 1_000_003)`` and
+    ``(1, 0)``.)
+
+    ``cache`` accepts a :class:`repro.parallel.cache.ResultCache`.
     """
+    from ..parallel.pool import ExperimentPool
+
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    results: List[TransferResult] = []
-    for run_index in range(n_runs):
-        model = BernoulliErrors(error_p, seed=seed * 1_000_003 + run_index)
-        results.append(
-            run_transfer(
-                protocol,
-                data,
-                params=params,
-                error_model=model,
-                **transfer_kwargs,
-            )
-        )
-    return RunSummary.from_results(results)
+    if cache is not None:
+        config = {
+            "protocol": protocol,
+            "data": data,
+            "error_p": error_p,
+            "n_runs": n_runs,
+            "params": params,
+            "seed": seed,
+            "transfer_kwargs": {k: repr(v) for k, v in sorted(transfer_kwargs.items())},
+        }
+        hit = cache.get("runs", config)
+        if hit is not None:
+            return RunSummary(**hit)
+    results: List[TransferResult] = ExperimentPool(n_jobs).map_transfers(
+        protocol,
+        data,
+        error_p,
+        n_runs,
+        params=params,
+        seed=seed,
+        **transfer_kwargs,
+    )
+    summary = RunSummary.from_results(results)
+    if cache is not None:
+        import dataclasses
+
+        cache.put("runs", config, dataclasses.asdict(summary))
+    return summary

@@ -74,6 +74,7 @@ class TestStrategyBehaviour:
         go = run_trials("gobackn", D, pn, 2000, t_retry=0.1, params=PARAMS, seed=9)
         assert go.mean_data_frames < full.mean_data_frames
 
+    @pytest.mark.slow
     def test_figure6_sigma_ordering(self):
         """full-no-NAK >> full-NAK > gobackn >= selective (paper Figure 6)."""
         pn = 1e-3
@@ -87,6 +88,7 @@ class TestStrategyBehaviour:
         assert nak.std_s > go.std_s
         assert sel.std_s <= go.std_s * 1.05  # close, selective no worse
 
+    @pytest.mark.slow
     def test_gobackn_only_marginally_inferior_to_selective(self):
         """The paper's engineering conclusion: go-back-n is the strategy of
         choice because selective's improvement in *expected time* is not
@@ -101,6 +103,7 @@ class TestStrategyBehaviour:
         assert go.mean_s == pytest.approx(t0, rel=0.05)
         assert sel.mean_s == pytest.approx(t0, rel=0.05)
 
+    @pytest.mark.slow
     def test_cumulative_full_retx_never_slower(self):
         """Receiver keeping packets across rounds can only help."""
         pn = 0.05
@@ -110,6 +113,7 @@ class TestStrategyBehaviour:
                                 params=PARAMS, seed=3, cumulative=True)
         assert cumulative.mean_s <= fresh.mean_s
 
+    @pytest.mark.slow
     def test_expected_time_near_error_free_in_flat_region(self):
         """§3.2 premise: at LAN error rates all strategies sit at ~T0(D)."""
         pn = 1e-5

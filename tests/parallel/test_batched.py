@@ -1,0 +1,210 @@
+"""Equivalence tests: batched fast paths vs the reference simulator.
+
+Two layers of proof, mirroring the module docstring:
+
+- *exact*: drive reference and batched paths with the same
+  :class:`CoinTape` and require identical samples AND identical coin
+  consumption — this pins the accounting logic, not just the moments;
+- *statistical*: with free-running RNGs the fast samplers draw from the
+  same distributions, so summary statistics agree within Monte Carlo
+  tolerance.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    RoundCostModel,
+    simulate_blast_transfer,
+    simulate_saw_transfer,
+)
+from repro.parallel import (
+    CoinTape,
+    FAST_STRATEGIES,
+    batched_blast_transfer,
+    batched_saw_transfer,
+    batched_trials,
+    supports_fast,
+)
+
+COST = RoundCostModel()
+TAPE_LEN = 200_000
+
+
+class TestCoinTape:
+    def test_replays_recorded_stream(self):
+        tape = CoinTape.record(42, 10)
+        reference = random.Random(42)
+        assert [tape.random() for _ in range(10)] == [
+            reference.random() for _ in range(10)
+        ]
+
+    def test_position_and_rewind(self):
+        tape = CoinTape([0.1, 0.2, 0.3])
+        assert len(tape) == 3
+        tape.random()
+        tape.random()
+        assert tape.position == 2
+        tape.rewind()
+        assert tape.position == 0
+        assert tape.random() == 0.1
+
+    def test_exhaustion_raises(self):
+        tape = CoinTape([0.5])
+        tape.random()
+        with pytest.raises(IndexError, match="exhausted after 1"):
+            tape.random()
+
+
+class TestSupportsFast:
+    def test_fast_strategies(self):
+        assert FAST_STRATEGIES == ("full_no_nak", "full_nak", "saw")
+        for strategy in FAST_STRATEGIES:
+            assert supports_fast(strategy)
+
+    def test_loop_strategies_not_fast(self):
+        assert not supports_fast("gobackn")
+        assert not supports_fast("selective")
+
+
+class TestExactTapeEquivalence:
+    """Same tape in -> same sample out, same number of coins consumed."""
+
+    @pytest.mark.parametrize("strategy", ["full_no_nak", "full_nak"])
+    @pytest.mark.parametrize("cumulative", [False, True])
+    def test_blast_matches_reference(self, strategy, cumulative):
+        for seed in range(20):
+            tape = CoinTape.record(seed, TAPE_LEN)
+            reference = simulate_blast_transfer(
+                strategy, 16, 0.2, 0.05, COST, tape, cumulative=cumulative
+            )
+            coins_used = tape.position
+            tape.rewind()
+            batched = batched_blast_transfer(
+                strategy, 16, 0.2, 0.05, COST, tape, cumulative=cumulative
+            )
+            assert batched == reference
+            assert tape.position == coins_used
+
+    def test_saw_matches_reference(self):
+        for seed in range(20):
+            tape = CoinTape.record(100 + seed, TAPE_LEN)
+            reference = simulate_saw_transfer(12, 0.15, 0.03, COST, tape)
+            coins_used = tape.position
+            tape.rewind()
+            batched = batched_saw_transfer(12, 0.15, 0.03, COST, tape)
+            assert batched == reference
+            assert tape.position == coins_used
+
+    @pytest.mark.parametrize("strategy", FAST_STRATEGIES)
+    def test_batched_trials_bulk_matches_reference(self, strategy):
+        tape = CoinTape.record(7, TAPE_LEN)
+        reference = []
+        for _ in range(30):
+            if strategy == "saw":
+                reference.append(simulate_saw_transfer(8, 0.1, 0.05, COST, tape))
+            else:
+                reference.append(
+                    simulate_blast_transfer(strategy, 8, 0.1, 0.05, COST, tape)
+                )
+        coins_used = tape.position
+        tape.rewind()
+        batched = batched_trials(strategy, 8, 0.1, 30, 0.05, COST, tape)
+        assert batched == reference
+        assert tape.position == coins_used
+
+
+def _moments(samples):
+    elapsed = [s.elapsed_s for s in samples]
+    return statistics.fmean(elapsed), statistics.stdev(elapsed)
+
+
+class TestStatisticalEquivalence:
+    """Free-running RNGs: same distribution, different streams."""
+
+    N = 6000
+
+    @pytest.mark.parametrize(
+        "strategy,cumulative",
+        [
+            ("full_no_nak", False),
+            ("full_nak", False),
+            ("full_nak", True),
+            ("saw", False),
+        ],
+    )
+    def test_mean_and_std_agree(self, strategy, cumulative):
+        d, p_n, t_retry = 16, 0.05, 0.05
+        rng = random.Random(3)
+        if strategy == "saw":
+            reference = [
+                simulate_saw_transfer(d, p_n, t_retry, COST, rng)
+                for _ in range(self.N)
+            ]
+        else:
+            reference = [
+                simulate_blast_transfer(
+                    strategy, d, p_n, t_retry, COST, rng, cumulative=cumulative
+                )
+                for _ in range(self.N)
+            ]
+        batched = batched_trials(
+            strategy, d, p_n, self.N, t_retry, COST, random.Random(4),
+            cumulative=cumulative,
+        )
+        ref_mean, ref_std = _moments(reference)
+        fast_mean, fast_std = _moments(batched)
+        # Means of two independent N-trial estimates differ by
+        # O(std * sqrt(2/N)); 5 sigma keeps flakes out.
+        tolerance = 5.0 * ref_std * math.sqrt(2.0 / self.N)
+        assert abs(fast_mean - ref_mean) < tolerance
+        assert fast_std == pytest.approx(ref_std, rel=0.15)
+
+    def test_mean_frame_counts_agree(self):
+        d, p_n, t_retry = 16, 0.1, 0.05
+        rng = random.Random(5)
+        reference = [
+            simulate_blast_transfer("full_no_nak", d, p_n, t_retry, COST, rng)
+            for _ in range(self.N)
+        ]
+        batched = batched_trials(
+            "full_no_nak", d, p_n, self.N, t_retry, COST, random.Random(6)
+        )
+        for field in ("rounds", "data_frames_sent", "reply_frames_sent"):
+            ref = statistics.fmean(getattr(s, field) for s in reference)
+            fast = statistics.fmean(getattr(s, field) for s in batched)
+            assert fast == pytest.approx(ref, rel=0.1)
+
+    def test_error_free_is_exact(self):
+        sample = batched_blast_transfer(
+            "full_no_nak", 32, 0.0, 0.05, COST, random.Random(0)
+        )
+        assert sample.rounds == 1
+        assert sample.data_frames_sent == 32
+        assert sample.reply_frames_sent == 1
+        assert sample.elapsed_s == pytest.approx(COST.t0(32))
+        saw = batched_saw_transfer(32, 0.0, 0.05, COST, random.Random(0))
+        assert saw.elapsed_s == pytest.approx(32 * COST.t0_single())
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="no batched fast path"):
+            batched_blast_transfer("gobackn", 4, 0.1, 0.05, COST, rng)
+        with pytest.raises(ValueError, match="no batched fast path"):
+            batched_trials("selective", 4, 0.1, 10, 0.05, COST, rng)
+
+    def test_bad_arguments_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="d_packets"):
+            batched_blast_transfer("full_nak", 0, 0.1, 0.05, COST, rng)
+        with pytest.raises(ValueError, match="p_n"):
+            batched_blast_transfer("full_nak", 4, 1.0, 0.05, COST, rng)
+        with pytest.raises(ValueError, match="d_packets"):
+            batched_saw_transfer(0, 0.1, 0.05, COST, rng)
+        with pytest.raises(ValueError, match="p_n"):
+            batched_saw_transfer(4, -0.1, 0.05, COST, rng)

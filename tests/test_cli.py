@@ -27,6 +27,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "9"])
 
+    def test_global_jobs_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["figure", "5"]).jobs == 1
+        assert parser.parse_args(["--jobs", "4", "figure", "5"]).jobs == 4
+        assert parser.parse_args(["--jobs", "-1", "compare"]).jobs == -1
+
+    def test_regen_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["regen"])
+        assert args.regen_jobs is None and not args.no_cache
+        args = parser.parse_args(["regen", "--jobs", "2", "--no-cache"])
+        assert args.regen_jobs == 2 and args.no_cache
+
 
 class TestCompare:
     def test_error_free_compare(self, capsys):
@@ -42,6 +55,13 @@ class TestCompare:
         ) == 0
         out = capsys.readouterr().out
         assert "blast" in out
+
+    def test_stochastic_compare_jobs_invariant(self, capsys):
+        argv = ["compare", "--size", "8K", "--error-p", "0.01", "--runs", "4"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(["--jobs", "2"] + argv) == 0
+        assert capsys.readouterr().out == sequential
 
     def test_vkernel_params(self, capsys):
         assert main(["compare", "--size", "1K", "--params", "vkernel"]) == 0
