@@ -56,7 +56,7 @@ def mean_retries(p_c: float) -> float:
     """
     if not 0.0 <= p_c <= 1.0:
         raise ValueError(f"p_c must be in [0, 1], got {p_c}")
-    if p_c == 1.0:
+    if p_c >= 1.0:
         return math.inf
     return p_c / (1.0 - p_c)
 

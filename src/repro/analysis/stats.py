@@ -111,7 +111,7 @@ def tail_ratio(samples: Sequence[float], q: float = 99.0) -> float:
     without NAK has a huge tail ratio, go-back-n a small one.
     """
     median = percentile(samples, 50.0)
-    if median == 0.0:
+    if median <= 0.0:
         return float("inf") if percentile(samples, q) > 0 else 1.0
     return percentile(samples, q) / median
 
@@ -134,7 +134,7 @@ class StatsSummary:
     @property
     def tail_ratio_99(self) -> float:
         """p99 over median."""
-        if self.p50 == 0.0:
+        if self.p50 <= 0.0:
             return float("inf") if self.p99 > 0 else 1.0
         return self.p99 / self.p50
 

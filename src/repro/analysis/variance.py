@@ -48,7 +48,7 @@ def geometric_failure_std(p_c: float, cost_per_failure: float) -> float:
         raise ValueError(f"p_c must be in [0, 1], got {p_c}")
     if cost_per_failure < 0:
         raise ValueError("cost_per_failure must be >= 0")
-    if p_c == 1.0:
+    if p_c >= 1.0:
         return math.inf
     return cost_per_failure * math.sqrt(p_c) / (1.0 - p_c)
 
@@ -107,9 +107,9 @@ def stddev_full_with_nak_exact(
     if t_retry < 0 or t0_full < 0:
         raise ValueError("times must be >= 0")
     p_c = p_fail_blast(p_n, d_packets)
-    if p_c == 0.0:
+    if p_c <= 0.0:
         return 0.0
-    if p_c == 1.0:
+    if p_c >= 1.0:
         return math.inf
     q_ok2 = (1.0 - p_n) ** 2
     p_timer = 1.0 - q_ok2

@@ -9,6 +9,7 @@ timeline  ASCII timeline of one transfer (the Figure 3 view)
 udp       real-socket transfer over UDP loopback (recv / send)
 regen     regenerate every paper table/figure into a directory
 moveto    V-kernel MoveTo demonstration
+lint      replint static analysis (determinism & protocol invariants)
 
 Examples
 --------
@@ -24,6 +25,7 @@ Examples
     python -m repro regen --jobs 4
     python -m repro regen --no-cache
     python -m repro moveto --size 65536 --error-p 1e-4
+    python -m repro lint src benchmarks --format json
 
 The global ``--jobs N`` flag fans Monte Carlo work across ``N`` worker
 processes (``-1`` = one per CPU).  Seed sharding is deterministic, so
@@ -138,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
     regen.add_argument(
         "--no-cache", action="store_true",
         help="recompute everything; skip the on-disk result cache",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="replint: determinism & protocol-invariant linter"
+    )
+    lint.add_argument(
+        "lint_paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--select", action="append", metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="also write a rule-by-rule count ledger to PATH",
+    )
+    lint.add_argument(
+        "--external", action="store_true",
+        help="additionally run ruff/mypy when installed (pip install .[lint])",
     )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
@@ -293,6 +320,19 @@ def _cmd_regen(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint.cli import lint_command
+
+    return lint_command(
+        args.lint_paths,
+        output_format=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        baseline=args.baseline,
+        external=args.external,
+    )
+
+
 def _cmd_moveto(args) -> int:
     from .sim import Environment
     from .simnet import BernoulliErrors, NetworkParams, make_lan
@@ -337,6 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "udp": _cmd_udp,
         "regen": _cmd_regen,
         "moveto": _cmd_moveto,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,48 @@
+"""replint — AST-based determinism & protocol-invariant linter.
+
+Enforces, at analysis time, the contracts the experiments rely on at
+run time (see ``docs/static-analysis.md`` for the full catalogue):
+
+========  ==========================================================
+REP101    unseeded RNG construction / global-RNG calls
+REP102    wall-clock reads inside simulated-time code
+REP103    hash-ordered iteration in event/frame hot paths
+REP104    lambdas/closures shipped across the process-pool boundary
+REP105    ``os.environ`` reads outside the configuration boundary
+REP106    float ``==``/``!=`` in analysis formulas
+REP107    mutable default arguments and bare ``except:``
+REP108    frame types declared but not handled by the protocol layer
+========  ==========================================================
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src benchmarks
+    python -m repro lint --format json --select REP101,REP104
+
+Suppress inline with ``# replint: disable=REP104`` (flagged line) or
+``# replint: disable-file=REP104`` (whole file).
+"""
+
+from .engine import (
+    FileContext,
+    LintResult,
+    UsageError,
+    Violation,
+    run_lint,
+)
+from .reporters import render_baseline, render_json, render_text
+from .rules import Rule, all_rules, rule_registry
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "UsageError",
+    "Violation",
+    "all_rules",
+    "render_baseline",
+    "render_json",
+    "render_text",
+    "rule_registry",
+    "run_lint",
+]

@@ -1,0 +1,139 @@
+"""Command-line front end shared by ``python -m repro.lint`` and
+``python -m repro lint``.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage error
+(unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import UsageError, run_lint
+from .reporters import render_baseline, render_json, render_text
+
+__all__ = ["build_parser", "lint_command", "main"]
+
+DEFAULT_PATHS = ("src", "benchmarks")
+
+#: External tools run by ``--external`` (optional-dependency group
+#: ``lint`` in pyproject.toml) and the arguments we invoke them with.
+EXTERNAL_TOOLS = (
+    ("ruff", ["check", "src"]),
+    ("mypy", ["src/repro"]),
+)
+
+
+def _split_ids(values: Optional[Sequence[str]]) -> List[str]:
+    ids: List[str] = []
+    for value in values or ():
+        ids.extend(part for part in value.split(",") if part.strip())
+    return ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="replint: determinism & protocol-invariant linter "
+        "(rules REP101-REP108)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. REP101,REP104)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="also write a rule-by-rule count ledger to PATH",
+    )
+    parser.add_argument(
+        "--external", action="store_true",
+        help="additionally run ruff and mypy when installed "
+        "(pip install .[lint]); missing tools are skipped with a notice",
+    )
+    return parser
+
+
+def _run_external() -> int:
+    """Run ruff/mypy if present; returns a nonzero code if any fail."""
+    import shutil
+    import subprocess
+
+    worst = 0
+    for tool, tool_args in EXTERNAL_TOOLS:
+        executable = shutil.which(tool)
+        if executable is None:
+            print(
+                f"replint: {tool} not installed — skipped "
+                "(pip install .[lint])"
+            )
+            continue
+        print(f"replint: running {tool} {' '.join(tool_args)}")
+        code = subprocess.call([executable, *tool_args])
+        worst = max(worst, code)
+    return worst
+
+
+def lint_command(
+    paths: Sequence[str],
+    output_format: str = "text",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    external: bool = False,
+) -> int:
+    """Run the linter and print the report; returns the exit code."""
+    try:
+        result = run_lint(
+            list(paths) or list(DEFAULT_PATHS),
+            select=_split_ids(select),
+            ignore=_split_ids(ignore),
+        )
+    except UsageError as exc:
+        print(f"replint: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if output_format == "json":
+            print(render_json(result))
+        else:
+            print(render_text(result))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the report is partial by
+        # the reader's choice, so exit on the lint verdict, not a traceback.
+        sys.stderr.close()
+        return 0 if result.clean else 1
+    if baseline:
+        path = Path(baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_baseline(result))
+        print(f"replint: baseline written to {path}")
+    exit_code = 0 if result.clean else 1
+    if external:
+        exit_code = max(exit_code, _run_external())
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return lint_command(
+        args.paths,
+        output_format=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        baseline=args.baseline,
+        external=args.external,
+    )

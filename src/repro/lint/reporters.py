@@ -1,0 +1,77 @@
+"""Text, JSON and baseline reporters for replint results.
+
+The JSON schema is versioned and covered by a golden-file test — treat
+any key change as a schema bump (``SCHEMA_VERSION``), because CI
+tooling downstream parses it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["SCHEMA_VERSION", "render_text", "render_json", "render_baseline"]
+
+SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, verbose_hints: bool = True) -> str:
+    """Classic ``path:line:col: RULE message`` diagnostics plus a summary."""
+    lines = []
+    for violation in result.violations:
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col}: "
+            f"{violation.rule} [{violation.severity}] {violation.message}"
+        )
+        if verbose_hints and violation.fix_hint:
+            lines.append(f"    hint: {violation.fix_hint}")
+    if result.clean:
+        lines.append(
+            f"replint: clean — 0 violations in {result.files_checked} files"
+            + (f" ({result.suppressed} suppressed)" if result.suppressed else "")
+        )
+    else:
+        lines.append(
+            f"replint: {len(result.violations)} violation(s) in "
+            f"{result.files_checked} files"
+            + (f" ({result.suppressed} suppressed)" if result.suppressed else "")
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (see the golden-file test)."""
+    payload = {
+        "schema": "replint-report",
+        "schema_version": SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": result.counts,
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "severity": v.severity,
+                "message": v.message,
+                "fix_hint": v.fix_hint,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_baseline(result: LintResult) -> str:
+    """Rule-by-rule count ledger (``benchmarks/results/lint_baseline.txt``)."""
+    lines = [
+        "# replint baseline — violations per rule",
+        "# regenerate: PYTHONPATH=src python -m repro.lint "
+        "--baseline benchmarks/results/lint_baseline.txt src benchmarks",
+    ]
+    for rule_id in sorted(result.counts):
+        lines.append(f"{rule_id} {result.counts[rule_id]}")
+    lines.append(f"total {len(result.violations)}")
+    return "\n".join(lines) + "\n"

@@ -45,6 +45,33 @@ def _code_salt() -> str:
         return str(CACHE_SCHEMA_VERSION)
 
 
+def _root_from_environment() -> Union[str, Path]:
+    """Resolve the cache root, validating any ``$REPRO_CACHE_DIR`` override.
+
+    An override must be an absolute path: a relative one would silently
+    scatter caches across working directories, and an empty one would
+    mean "the current directory", which is never what the operator
+    intended.  (This is the one sanctioned ``os.environ`` read outside
+    the CLI — see REP105 in docs/static-analysis.md.)
+    """
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override is None:
+        return DEFAULT_CACHE_DIR
+    if not override.strip():
+        raise ValueError(
+            f"{CACHE_ENV_VAR} is set but empty; unset it or point it at "
+            "an absolute directory path"
+        )
+    path = Path(override)
+    if not path.is_absolute():
+        raise ValueError(
+            f"{CACHE_ENV_VAR} must be an absolute path, got {override!r}; "
+            "a relative override would scatter caches across working "
+            "directories"
+        )
+    return path
+
+
 def _jsonify(value: Any) -> Any:
     """Fallback serialiser for config values (dataclasses, bytes, sets)."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -77,7 +104,7 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path, None] = None):
         if root is None:
-            root = os.environ.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR)
+            root = _root_from_environment()
         self.root = Path(root)
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,30 @@
+"""Shared helpers for the replint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relative_path: source}`` under a tmp root and lint it."""
+
+    def _lint(files, **kwargs):
+        from repro.lint import run_lint
+
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return run_lint([tmp_path], **kwargs)
+
+    return _lint
+
+
+def rule_ids(result):
+    """The set of rule ids present in a lint result."""
+    return {violation.rule for violation in result.violations}

@@ -1,0 +1,21 @@
+"""REP101 bad fixture: unseeded and global RNG use."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()
+
+
+def numpy_rng():
+    return np.random.default_rng()
+
+
+def numpy_global():
+    return np.random.normal(0.0, 1.0)

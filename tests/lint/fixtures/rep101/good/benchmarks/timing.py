@@ -1,0 +1,7 @@
+"""Benchmarks are exempt from REP101: jitter here is harmless."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

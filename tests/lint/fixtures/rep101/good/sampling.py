@@ -1,0 +1,17 @@
+"""REP101 good fixture: every RNG is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(seed: int) -> float:
+    return make_rng(seed).random()
+
+
+def numpy_rng(seed: int):
+    return np.random.default_rng(seed)

@@ -1,0 +1,16 @@
+"""REP102 bad fixture: wall-clock reads inside simulated-time code."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return time.monotonic()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""REP102 good fixture: simulated code reads the simulation clock."""
+
+
+def stamp(env) -> float:
+    return env.now
+
+
+def wait(env, delay_s: float):
+    yield env.timeout(delay_s)

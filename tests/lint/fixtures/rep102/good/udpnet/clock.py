@@ -1,0 +1,7 @@
+"""Real-socket transports measure real time — udpnet/ is exempt."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.monotonic() - start

@@ -1,0 +1,19 @@
+"""REP103 bad fixture: hash-ordered iteration in a hot path."""
+
+
+def drain(names):
+    ready = {"timer", "frame", "ack"}
+    order = []
+    for name in ready:
+        order.append(name)
+    extras = [item for item in set(names)]
+    joined = ",".join(ready)
+    return order, extras, joined
+
+
+def by_view(keys):
+    table = {key: len(key) for key in set(keys)}
+    total = []
+    for value in table.values():
+        total.append(value)
+    return total

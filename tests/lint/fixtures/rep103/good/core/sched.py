@@ -1,0 +1,14 @@
+"""REP103 good fixture: sets are sorted before any ordered use."""
+
+
+def drain(names):
+    ready = {"timer", "frame", "ack"}
+    order = []
+    for name in sorted(ready):
+        order.append(name)
+    extras = [item for item in sorted(set(names))]
+    joined = ",".join(sorted(ready))
+    # Order-independent consumption of a set is fine.
+    count = len(ready)
+    present = "timer" in ready
+    return order, extras, joined, count, present

@@ -1,0 +1,14 @@
+"""REP104 bad fixture: unpicklable callables shipped to workers."""
+
+
+def run(pool, specs):
+    doubled = pool.map_shards(lambda spec: spec * 2, specs)
+
+    def local_worker(spec):
+        return spec + 1
+
+    bumped = pool.map_shards(local_worker, specs)
+
+    shift = lambda spec: spec - 1  # noqa: E731
+    shifted = pool.map_shards(shift, specs)
+    return doubled, bumped, shifted

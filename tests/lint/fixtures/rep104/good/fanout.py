@@ -1,0 +1,12 @@
+"""REP104 good fixture: workers are module-level, pickled by reference."""
+
+
+def double_worker(spec):
+    return spec * 2
+
+
+def run(pool, specs):
+    doubled = pool.map_shards(double_worker, specs)
+    # A lambda that never crosses a process boundary is fine.
+    tagged = [(lambda s: s)(spec) for spec in specs]
+    return doubled, tagged

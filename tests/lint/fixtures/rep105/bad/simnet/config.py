@@ -1,0 +1,11 @@
+"""REP105 bad fixture: ambient configuration reads in a simulator."""
+
+import os
+
+
+def debug_enabled() -> bool:
+    return bool(os.environ.get("REPRO_DEBUG"))
+
+
+def trace_path() -> str:
+    return os.getenv("REPRO_TRACE", "")

@@ -1,0 +1,7 @@
+"""REP105 good fixture: parallel/cache.py is the sanctioned boundary."""
+
+import os
+
+
+def cache_root() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")

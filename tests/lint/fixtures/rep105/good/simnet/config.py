@@ -1,0 +1,9 @@
+"""REP105 good fixture: configuration flows through parameters."""
+
+
+def debug_enabled(debug: bool = False) -> bool:
+    return debug
+
+
+def trace_path(path: str = "") -> str:
+    return path

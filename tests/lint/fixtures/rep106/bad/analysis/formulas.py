@@ -1,0 +1,11 @@
+"""REP106 bad fixture: exact float comparison in a formula."""
+
+import math
+
+
+def mean_retries(p_c: float) -> float:
+    if p_c == 1.0:
+        return math.inf
+    if p_c != 0.0:
+        return p_c / (1.0 - p_c)
+    return 0.0

@@ -1,0 +1,16 @@
+"""REP106 good fixture: inequality guards instead of float equality."""
+
+import math
+
+
+def mean_retries(p_c: float) -> float:
+    if p_c >= 1.0:
+        return math.inf
+    if p_c > 0.0:
+        return p_c / (1.0 - p_c)
+    return 0.0
+
+
+def total(count: int) -> bool:
+    # Integer equality is fine; REP106 only flags float literals.
+    return count == 0

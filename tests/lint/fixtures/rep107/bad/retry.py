@@ -1,0 +1,14 @@
+"""REP107 bad fixture: mutable default and bare except in a retry path."""
+
+
+def collect(item, seen=[]):
+    seen.append(item)
+    return seen
+
+
+def retry(action, attempts={}):
+    try:
+        return action()
+    except:
+        attempts["failed"] = True
+        return None

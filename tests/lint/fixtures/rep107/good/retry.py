@@ -1,0 +1,17 @@
+"""REP107 good fixture: None defaults and specific exception classes."""
+
+
+def collect(item, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen
+
+
+def retry(action, attempts=None):
+    attempts = dict(attempts or {})
+    try:
+        return action()
+    except (OSError, ValueError):
+        attempts["failed"] = True
+        return None

@@ -1,0 +1,24 @@
+"""REP108 bad fixture frame vocabulary: ResetFrame is never handled."""
+
+
+class FrameKind:
+    DATA = 1
+    ACK = 2
+    NAK = 3
+    RESET = 4
+
+
+class DataFrame:
+    kind = FrameKind.DATA
+
+
+class AckFrame:
+    kind = FrameKind.ACK
+
+
+class NakFrame:
+    kind = FrameKind.NAK
+
+
+class ResetFrame:
+    kind = FrameKind.RESET

@@ -1,0 +1,18 @@
+"""REP108 bad fixture protocols: incomplete frame handling."""
+
+from .frames import AckFrame, DataFrame, NakFrame
+
+
+class Sender:
+    def send(self, payload):
+        return DataFrame()
+
+    def on_reply(self, frame):
+        return isinstance(frame, AckFrame)
+
+
+class NakOnlyReceiver:
+    """Speaks NakFrame but never AckFrame — cannot terminate positively."""
+
+    def on_data(self, frame):
+        return NakFrame()

@@ -1,0 +1,19 @@
+"""REP108 good fixture frame vocabulary."""
+
+
+class FrameKind:
+    DATA = 1
+    ACK = 2
+    NAK = 3
+
+
+class DataFrame:
+    kind = FrameKind.DATA
+
+
+class AckFrame:
+    kind = FrameKind.ACK
+
+
+class NakFrame:
+    kind = FrameKind.NAK

@@ -1,0 +1,22 @@
+"""REP108 good fixture protocols: every frame kind is handled."""
+
+from .frames import AckFrame, DataFrame, NakFrame
+
+
+class Sender:
+    def send(self, payload):
+        return DataFrame()
+
+    def on_reply(self, frame):
+        if isinstance(frame, AckFrame):
+            return True
+        if isinstance(frame, NakFrame):
+            return False
+        return None
+
+
+class Receiver:
+    def on_data(self, frame):
+        if isinstance(frame, DataFrame) and self.complete:
+            return AckFrame()
+        return NakFrame()

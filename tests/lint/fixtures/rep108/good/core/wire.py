@@ -1,0 +1,13 @@
+"""REP108 good fixture codec: every frame kind crosses the wire."""
+
+from .frames import AckFrame, DataFrame, FrameKind, NakFrame
+
+
+def encode(frame):
+    if isinstance(frame, DataFrame):
+        return (FrameKind.DATA, frame)
+    if isinstance(frame, AckFrame):
+        return (FrameKind.ACK, frame)
+    if isinstance(frame, NakFrame):
+        return (FrameKind.NAK, frame)
+    raise ValueError("unknown frame")

@@ -1,0 +1,9 @@
+"""Golden-report fixture: one live violation, one suppressed."""
+
+
+def guard(p_c: float) -> bool:
+    return p_c == 1.0
+
+
+def guarded(p_c: float) -> bool:
+    return p_c == 1.0  # replint: disable=REP106

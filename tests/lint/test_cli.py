@@ -1,0 +1,106 @@
+"""CLI entry points: ``python -m repro.lint`` and ``python -m repro lint``."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+from .conftest import FIXTURES, REPO_ROOT
+
+
+def _run_module(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestModuleEntryPoint:
+    def test_clean_tree_exits_zero(self):
+        proc = _run_module(str(FIXTURES / "rep101" / "good"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_bad_tree_exits_one_with_diagnostics(self):
+        proc = _run_module(str(FIXTURES / "rep101" / "bad"))
+        assert proc.returncode == 1
+        assert "REP101" in proc.stdout
+        # file:line:col prefix on every diagnostic line
+        assert "sampling.py:" in proc.stdout
+
+    def test_unknown_rule_id_exits_two(self):
+        proc = _run_module("--select", "REP999", str(FIXTURES))
+        assert proc.returncode == 2
+        assert "unknown rule id" in proc.stderr
+
+    def test_missing_path_exits_two(self):
+        proc = _run_module("no/such/dir")
+        assert proc.returncode == 2
+
+
+class TestInProcess:
+    def test_json_format(self, capsys):
+        code = lint_main(["--format", "json", str(FIXTURES / "rep106" / "bad")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["counts"]["REP106"] >= 1
+
+    def test_select_and_ignore_combined(self, capsys):
+        code = lint_main(
+            [
+                "--select", "REP106,REP107",
+                "--ignore", "REP106",
+                str(FIXTURES / "rep106" / "bad"),
+            ]
+        )
+        assert code == 0
+
+    def test_baseline_written(self, tmp_path, capsys):
+        baseline = tmp_path / "ledger" / "baseline.txt"
+        code = lint_main(
+            ["--baseline", str(baseline), str(FIXTURES / "rep101" / "good")]
+        )
+        assert code == 0
+        content = baseline.read_text()
+        assert "REP101 0" in content
+        assert content.endswith("total 0\n")
+
+    def test_external_tools_missing_are_skipped(self, tmp_path, capsys, monkeypatch):
+        # With an empty PATH neither ruff nor mypy resolves; the run must
+        # still succeed and say why.
+        monkeypatch.setenv("PATH", str(tmp_path))
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = lint_main(["--external", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ruff not installed" in out
+        assert "mypy not installed" in out
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        code = repro_main(["lint", str(FIXTURES / "rep102" / "bad")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP102" in out
+
+    def test_repro_cli_lint_clean(self, capsys):
+        code = repro_main(["lint", str(FIXTURES / "rep102" / "good")])
+        assert code == 0
+
+    def test_same_file_not_linted_twice_for_overlapping_roots(self, capsys):
+        root = FIXTURES / "rep106" / "bad"
+        code = lint_main(["--format", "json", str(root), str(root / "analysis")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["counts"]["REP106"] == 2  # the two lines, once each

@@ -1,0 +1,39 @@
+"""CI guard: the repository's own tree must stay replint-clean forever.
+
+This is the enforcement half of the determinism contract: any PR that
+introduces an unseeded RNG, a wall-clock read in simulated code, an
+unpicklable pool callable, … fails tier-1 right here (or carries an
+explicit, justified ``# replint: disable=`` comment).
+"""
+
+from repro.lint import render_baseline, render_text, run_lint
+
+from .conftest import REPO_ROOT
+
+LINTED_ROOTS = [REPO_ROOT / "src", REPO_ROOT / "benchmarks"]
+BASELINE = REPO_ROOT / "benchmarks" / "results" / "lint_baseline.txt"
+
+
+def test_source_tree_is_replint_clean():
+    result = run_lint(LINTED_ROOTS)
+    assert result.clean, (
+        "replint violations in the tree — fix them or add a justified "
+        "'# replint: disable=' comment:\n" + render_text(result)
+    )
+
+
+def test_whole_tree_was_scanned():
+    result = run_lint(LINTED_ROOTS)
+    # Sanity-check the guard has teeth: the tree is ~90 files; a broken
+    # file-discovery walk silently passing would defeat the test above.
+    assert result.files_checked >= 60
+
+
+def test_lint_baseline_file_is_current():
+    result = run_lint(LINTED_ROOTS)
+    expected = render_baseline(result)
+    assert BASELINE.read_text() == expected, (
+        "benchmarks/results/lint_baseline.txt is stale; regenerate with\n"
+        "  PYTHONPATH=src python -m repro.lint "
+        "--baseline benchmarks/results/lint_baseline.txt src benchmarks"
+    )

@@ -1,0 +1,128 @@
+"""Suppression edge cases: line vs file scope, unknown ids, select/ignore."""
+
+import pytest
+
+from repro.lint import UsageError, run_lint
+
+from .conftest import rule_ids
+
+BAD_RNG = "import random\n\n\ndef draw():\n    return random.random()\n"
+
+
+class TestLineLevelDisable:
+    def test_disable_on_flagged_line_suppresses(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "import random\n\n\ndef draw():\n"
+                    "    return random.random()  # replint: disable=REP101\n"
+                )
+            }
+        )
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_on_other_line_does_not_suppress(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "import random  # replint: disable=REP101\n\n\n"
+                    "def draw():\n    return random.random()\n"
+                )
+            }
+        )
+        assert rule_ids(result) == {"REP101"}
+        assert result.suppressed == 0
+
+    def test_disable_for_different_rule_does_not_suppress(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "import random\n\n\ndef draw():\n"
+                    "    return random.random()  # replint: disable=REP102\n"
+                )
+            }
+        )
+        assert rule_ids(result) == {"REP101"}
+
+    def test_comma_separated_ids(self, lint_tree):
+        result = lint_tree(
+            {
+                "sim/mod.py": (
+                    "import random\nimport time\n\n\ndef draw():\n"
+                    "    return random.random() + time.time()"
+                    "  # replint: disable=REP101, REP102\n"
+                )
+            }
+        )
+        assert result.clean
+        assert result.suppressed == 2
+
+
+class TestFileLevelDisable:
+    def test_disable_file_suppresses_everywhere(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "# replint: disable-file=REP101\n" + BAD_RNG}
+        )
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_file_at_bottom_still_counts(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": BAD_RNG + "\n# replint: disable-file=REP101\n"}
+        )
+        assert result.clean
+
+    def test_disable_file_only_affects_its_own_file(self, lint_tree):
+        result = lint_tree(
+            {
+                "clean.py": "# replint: disable-file=REP101\n" + BAD_RNG,
+                "dirty.py": BAD_RNG,
+            }
+        )
+        assert [v.path.endswith("dirty.py") for v in result.violations] == [True]
+
+    def test_disable_all(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "# replint: disable-file=all\n" + BAD_RNG}
+        )
+        assert result.clean
+
+
+class TestUnknownIds:
+    def test_unknown_id_in_suppression_is_reported(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "import random\n\n\ndef draw():\n"
+                    "    return random.random()  # replint: disable=REP999\n"
+                )
+            }
+        )
+        # The bogus suppression is flagged AND the original stays live.
+        assert rule_ids(result) == {"REP100", "REP101"}
+
+    def test_unknown_id_in_file_disable_is_reported(self, lint_tree):
+        result = lint_tree({"mod.py": "# replint: disable-file=NOPE\n"})
+        assert rule_ids(result) == {"REP100"}
+
+    def test_meta_rule_cannot_be_suppressed(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "# replint: disable-file=all\n# replint: disable=REP999\n"}
+        )
+        assert rule_ids(result) == {"REP100"}
+
+    def test_unknown_select_raises_usage_error(self, lint_tree):
+        with pytest.raises(UsageError, match="REP999"):
+            lint_tree({"mod.py": "x = 1\n"}, select=["REP999"])
+
+    def test_unknown_ignore_raises_usage_error(self, lint_tree):
+        with pytest.raises(UsageError, match="unknown rule id"):
+            lint_tree({"mod.py": "x = 1\n"}, ignore=["BOGUS"])
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_rep100(self, lint_tree):
+        result = lint_tree({"mod.py": "def broken(:\n"})
+        assert rule_ids(result) == {"REP100"}
+        assert "does not parse" in result.violations[0].message

@@ -88,6 +88,23 @@ class TestStore:
         cache.put("trials", {"seed": 0}, {"ok": True})
         assert (tmp_path / "from_env").exists()
 
+    def test_env_var_relative_override_rejected(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "relative/cache/dir")
+        with pytest.raises(ValueError, match="absolute path"):
+            ResultCache()
+
+    def test_env_var_empty_override_rejected(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "   ")
+        with pytest.raises(ValueError, match="set but empty"):
+            ResultCache()
+
+    def test_env_var_ignored_for_explicit_root(self, tmp_path, monkeypatch):
+        # A bad override must not break callers that pass a root directly.
+        monkeypatch.setenv(CACHE_ENV_VAR, "relative/cache/dir")
+        cache = ResultCache(tmp_path / "explicit")
+        cache.put("trials", {"seed": 0}, {"ok": True})
+        assert (tmp_path / "explicit").exists()
+
 
 class TestRunTrialsIntegration:
     KW = dict(d_packets=8, p_n=0.05, n_trials=200, t_retry=0.05, seed=3)
