@@ -1,0 +1,35 @@
+"""The full conformance matrix, checked against the committed ledger.
+
+Runs every (protocol, strategy) × builtin-plan cell on both substrates —
+96 cells — and regenerates ``results/conformance_matrix.txt``.  The
+rendered report must be byte-identical to the committed golden ledger:
+DES rows carry deterministic frame/round counts, UDP rows carry only
+verdicts, so any drift in protocol behaviour, plan interpretation, or
+report format shows up as a diff here.
+"""
+
+from pathlib import Path
+
+from repro.faults.conformance import run_matrix
+
+GOLDEN = Path(__file__).parent / "results" / "conformance_matrix.txt"
+
+
+def test_full_matrix_matches_golden_ledger(results_dir):
+    result = run_matrix(n_jobs=4)
+    assert len(result.cells) == 96
+    assert result.all_passed, result.failures
+
+    (results_dir / "conformance_matrix.txt").write_text(result.report)
+    assert result.report == GOLDEN.read_text(), (
+        "conformance report drifted from the committed golden ledger; "
+        "regenerate with: PYTHONPATH=src python -m repro --jobs 4 faults "
+        "--out benchmarks/results/conformance_matrix.txt"
+    )
+
+
+def test_matrix_is_deterministic_across_job_counts():
+    serial = run_matrix(substrates=("des",), n_jobs=1)
+    sharded = run_matrix(substrates=("des",), n_jobs=3)
+    assert serial.report == sharded.report
+    assert serial.cells == sharded.cells

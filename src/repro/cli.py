@@ -10,6 +10,7 @@ udp       real-socket transfer over UDP loopback (recv / send)
 regen     regenerate every paper table/figure into a directory
 moveto    V-kernel MoveTo demonstration
 lint      replint static analysis (determinism & protocol invariants)
+faults    fault-injection conformance matrix across DES and UDP
 
 Examples
 --------
@@ -26,6 +27,9 @@ Examples
     python -m repro regen --no-cache
     python -m repro moveto --size 65536 --error-p 1e-4
     python -m repro lint src benchmarks --format json
+    python -m repro --jobs 4 faults
+    python -m repro faults --substrate des --plans drop-replies,dup-burst
+    python -m repro faults --list-plans
 
 The global ``--jobs N`` flag fans Monte Carlo work across ``N`` worker
 processes (``-1`` = one per CPU).  Seed sharding is deterministic, so
@@ -165,6 +169,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--external", action="store_true",
         help="additionally run ruff/mypy when installed (pip install .[lint])",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="run the fault-injection conformance matrix"
+    )
+    faults.add_argument(
+        "--substrate", choices=["des", "udp", "both"], default="both",
+        help="which execution substrate(s) to sweep (default: both)",
+    )
+    faults.add_argument(
+        "--plans", metavar="NAMES",
+        help="comma-separated builtin plan names (default: all)",
+    )
+    faults.add_argument(
+        "--list-plans", action="store_true",
+        help="list the builtin fault plans and exit",
+    )
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--size", type=_parse_size, default=8 * 1024 + 137)
+    faults.add_argument(
+        "--out", metavar="PATH",
+        help="also write the matrix report to PATH",
     )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
@@ -333,6 +359,37 @@ def _cmd_lint(args) -> int:
     )
 
 
+def _cmd_faults(args) -> int:
+    from .faults.conformance import SUBSTRATES, run_matrix
+    from .faults.plans import builtin_plan, builtin_plan_names
+
+    if args.list_plans:
+        from .faults.plans import BUILTIN_PLANS
+
+        for name in builtin_plan_names():
+            plan = BUILTIN_PLANS[name]
+            budget = plan.fault_budget()
+            print(f"{name:18s} budget={budget:>4.0f}  {plan.description}")
+        return 0
+    substrates = SUBSTRATES if args.substrate == "both" else (args.substrate,)
+    plans = None
+    if args.plans:
+        plans = [builtin_plan(name.strip()) for name in args.plans.split(",")]
+    matrix = run_matrix(
+        plans=plans,
+        substrates=substrates,
+        seed=args.seed,
+        size_bytes=args.size,
+        n_jobs=args.jobs,
+    )
+    print(matrix.report, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(matrix.report)
+        print(f"wrote {args.out}")
+    return 0 if matrix.all_passed else 1
+
+
 def _cmd_moveto(args) -> int:
     from .sim import Environment
     from .simnet import BernoulliErrors, NetworkParams, make_lan
@@ -378,6 +435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "regen": _cmd_regen,
         "moveto": _cmd_moveto,
         "lint": _cmd_lint,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

@@ -26,7 +26,7 @@ from typing import Union
 
 from .frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
 
-__all__ = ["encode", "decode", "WireError", "HEADER_BYTES", "MAGIC"]
+__all__ = ["encode", "decode", "peek", "WireError", "HEADER_BYTES", "MAGIC"]
 
 MAGIC = 0x5A57
 VERSION = 1
@@ -83,6 +83,30 @@ def encode(frame: Frame) -> bytes:
     )
     crc = zlib.crc32(header + payload) & 0xFFFFFFFF
     return header + _CRC.pack(crc) + payload
+
+
+def peek(datagram: bytes):
+    """Cheap header inspection: ``(FrameKind, seq) | (None, None)``.
+
+    Classifies a datagram without CRC verification or payload parsing —
+    used by fault-injection socket wrappers to match rules against
+    traffic they must not consume.  Returns ``(None, None)`` for
+    anything that is not a plausible protocol frame, covering every
+    :class:`FrameKind`: DATA and ACK report their ``seq``, NAK its
+    first-missing, CONTROL its request id.
+    """
+    if len(datagram) < _HEADER.size:
+        return None, None
+    magic, version, kind_raw, _xfer, seq, _total, _flags, _length = _HEADER.unpack(
+        datagram[: _HEADER.size]
+    )
+    if magic != MAGIC or version != VERSION:
+        return None, None
+    try:
+        kind = FrameKind(kind_raw)
+    except ValueError:
+        return None, None
+    return kind, seq
 
 
 def decode(datagram: bytes) -> Frame:

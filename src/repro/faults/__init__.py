@@ -1,0 +1,50 @@
+"""Deterministic fault injection across every execution substrate.
+
+The package has four layers:
+
+- :mod:`repro.faults.plan` — the serialisable :class:`FaultPlan` DSL
+  (drop / duplicate / reorder / delay / corrupt rules) and its
+  substrate-independent interpreter, :class:`PlanExecutor`;
+- :mod:`repro.faults.plans` — the builtin library of bounded plans the
+  conformance matrix sweeps;
+- the adapters — :class:`ScriptedErrors` for the DES wire,
+  :class:`FaultySocket` for real UDP sockets, and
+  :class:`repro.faults.vkernel.IpcFaultHook` for V-kernel IPC;
+- :mod:`repro.faults.conformance` — the protocol × strategy × plan
+  matrix harness behind ``repro faults`` (imported explicitly, not
+  here, to keep this package import-light and cycle-free).
+"""
+
+from .plan import (
+    ACTIONS,
+    DIRECTIONS,
+    KINDS,
+    FaultDecision,
+    FaultPlan,
+    FaultRule,
+    PlanExecutor,
+    apply_to_sequence,
+    frame_stream_key,
+    validate_bounded,
+)
+from .plans import BUILTIN_PLANS, builtin_plan, builtin_plan_names
+from .scripted import ScriptedErrors
+from .socket import FaultySocket
+
+__all__ = [
+    "ACTIONS",
+    "DIRECTIONS",
+    "KINDS",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "PlanExecutor",
+    "apply_to_sequence",
+    "frame_stream_key",
+    "validate_bounded",
+    "BUILTIN_PLANS",
+    "builtin_plan",
+    "builtin_plan_names",
+    "ScriptedErrors",
+    "FaultySocket",
+]

@@ -1,0 +1,299 @@
+"""Cross-substrate protocol conformance under scripted faults.
+
+The harness sweeps the protocol × strategy × fault-plan grid on two
+substrates — the discrete-event simulator and the real-socket UDP
+transports — and holds every cell to the same contract:
+
+1. **payload byte-equality** — the receiver reassembles exactly the
+   bytes the sender offered;
+2. **termination** — under a *bounded* plan (finite fault budget) the
+   transfer completes; bounded retry counts turn livelock into a
+   visible failure rather than a hang;
+3. **analytic frame bound** — data frames sent stay within
+   ``packets × (1 + budget + slack)``: each injected fault can cost at
+   most one extra round, and a round retransmits at most the full
+   working set (the paper's worst-case full-retransmission strategy).
+
+Cells are independent and picklable, so the sweep parallelises through
+:class:`repro.parallel.pool.ExperimentPool`.  Report rows for the DES
+substrate include the deterministic frame/round counts; UDP rows carry
+only the pass/fail verdicts (wall-clock timing makes socket-side counts
+run-dependent), so the rendered report is byte-identical across runs
+with equal seeds — the property the golden ledger in
+``benchmarks/results/conformance_matrix.txt`` locks in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..parallel.pool import ExperimentPool, mix_seed
+from .plan import FaultPlan
+from .plans import BUILTIN_PLANS, builtin_plan_names
+
+__all__ = [
+    "COMBOS",
+    "SUBSTRATES",
+    "CellResult",
+    "MatrixResult",
+    "build_specs",
+    "run_matrix",
+    "render_report",
+]
+
+#: (protocol, strategy) pairs — strategies apply to the blast family.
+COMBOS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("stop_and_wait", None),
+    ("sliding_window", None),
+    ("blast", "full_no_nak"),
+    ("blast", "full_nak"),
+    ("blast", "gobackn"),
+    ("blast", "selective"),
+)
+
+SUBSTRATES: Tuple[str, ...] = ("des", "udp")
+
+#: Extra rounds tolerated beyond the per-fault worst case (startup,
+#: timer quantisation, final-ack repair).
+SLACK_ROUNDS = 3
+
+DEFAULT_SEED = 7
+DEFAULT_SIZE_BYTES = 8 * 1024 + 137  # nine packets, ragged tail
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Verdict for one (substrate, protocol, strategy, plan) cell."""
+
+    substrate: str
+    protocol: str
+    strategy: Optional[str]
+    plan: str
+    ok: bool
+    intact: bool
+    terminated: bool
+    within_bound: bool
+    frames: int
+    rounds: int
+    bound: int
+    error: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.ok and self.intact and self.terminated and self.within_bound
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """The full sweep: all cells plus the rendered report."""
+
+    cells: Tuple[CellResult, ...]
+    report: str
+
+    @property
+    def all_passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [cell for cell in self.cells if not cell.passed]
+
+
+def _payload(seed: int, size: int) -> bytes:
+    """Deterministic pseudo-random transfer body."""
+    return random.Random(mix_seed(seed, 0)).randbytes(size)
+
+
+def _frame_bound(packets: int, plan: FaultPlan) -> int:
+    """Worst-case data frames for a bounded plan (0 = unbounded/skip)."""
+    budget = plan.fault_budget()
+    if budget == float("inf"):
+        return 0
+    return int(packets * (1 + budget + SLACK_ROUNDS))
+
+
+def _run_des_cell(
+    protocol: str,
+    strategy: Optional[str],
+    plan: FaultPlan,
+    seed: int,
+    size: int,
+) -> dict:
+    from ..core.runner import run_transfer
+    from .scripted import ScriptedErrors
+
+    data = _payload(seed, size)
+    kwargs = {} if strategy is None else {"strategy": strategy}
+    model = ScriptedErrors(plan, seed=seed)
+    try:
+        result = run_transfer(protocol, data, error_model=model, **kwargs)
+    except RuntimeError as exc:
+        return {
+            "ok": False, "intact": False, "terminated": False,
+            "frames": 0, "rounds": 0, "error": f"did not terminate: {exc}",
+        }
+    return {
+        "ok": bool(result.ok),
+        "intact": bool(result.data_intact),
+        "terminated": True,
+        "frames": int(result.stats.data_frames_sent),
+        "rounds": int(result.stats.rounds),
+        "error": "" if result.ok else "transfer reported failure",
+    }
+
+
+def _run_udp_cell(
+    protocol: str,
+    strategy: Optional[str],
+    plan: FaultPlan,
+    seed: int,
+    size: int,
+) -> dict:
+    import threading
+
+    from ..core.strategies import get_strategy
+    from ..udpnet.blast import BlastReceiver, BlastSender
+    from ..udpnet.saw import PerPacketAckReceiver, SawSender
+    from ..udpnet.sliding import SlidingWindowSender
+
+    data = _payload(seed, size)
+    if protocol == "stop_and_wait":
+        receiver = PerPacketAckReceiver()
+        sender = SawSender(fault_plan=plan, fault_seed=seed)
+        serve_kwargs = {"first_timeout_s": 5.0, "idle_timeout_s": 1.0, "linger_s": 0.5}
+        send_kwargs = {"timeout_s": 0.05, "max_retries": 60}
+    elif protocol == "sliding_window":
+        receiver = PerPacketAckReceiver()
+        sender = SlidingWindowSender(fault_plan=plan, fault_seed=seed)
+        serve_kwargs = {"first_timeout_s": 5.0, "idle_timeout_s": 1.0, "linger_s": 0.5}
+        send_kwargs = {"timeout_s": 0.05, "max_rounds": 60}
+    elif protocol == "blast":
+        assert strategy is not None
+        receiver = BlastReceiver()
+        sender = BlastSender(fault_plan=plan, fault_seed=seed)
+        serve_kwargs = {
+            "nak": get_strategy(strategy).uses_nak,
+            "first_timeout_s": 5.0,
+            "idle_timeout_s": 2.0,
+            "linger_s": 0.5,
+        }
+        send_kwargs = {"strategy": strategy, "timeout_s": 0.1, "max_rounds": 60}
+    else:
+        raise ValueError(f"unknown udp protocol {protocol!r}")
+
+    outcomes = {}
+
+    def serve() -> None:
+        outcomes["receiver"] = receiver.serve_one(**serve_kwargs)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        outcome = sender.send(data, receiver.address, **send_kwargs)
+        thread.join(timeout=30.0)
+    finally:
+        sender.close()
+        receiver.close()
+    received = outcomes.get("receiver")
+    intact = received is not None and received.ok and received.data == data
+    return {
+        "ok": bool(outcome.ok),
+        "intact": bool(intact),
+        "terminated": not thread.is_alive(),
+        "frames": int(outcome.data_frames_sent),
+        "rounds": int(outcome.rounds),
+        "error": outcome.error or ("" if intact else "payload mismatch"),
+    }
+
+
+def _run_cell_spec(spec: Tuple[str, str, Optional[str], str, int, int]) -> dict:
+    """Module-level worker (ExperimentPool boundary: must be picklable)."""
+    substrate, protocol, strategy, plan_json, seed, size = spec
+    plan = FaultPlan.from_json(plan_json)
+    if substrate == "des":
+        raw = _run_des_cell(protocol, strategy, plan, seed, size)
+    elif substrate == "udp":
+        raw = _run_udp_cell(protocol, strategy, plan, seed, size)
+    else:
+        raise ValueError(f"unknown substrate {substrate!r}")
+    packets = (size + 1024 - 1) // 1024
+    bound = _frame_bound(packets, plan)
+    within = bound == 0 or not raw["terminated"] or raw["frames"] <= bound
+    return {
+        "substrate": substrate,
+        "protocol": protocol,
+        "strategy": strategy,
+        "plan": plan.name,
+        "bound": bound,
+        "within_bound": bool(within),
+        **raw,
+    }
+
+
+def build_specs(
+    plans: Optional[Sequence[FaultPlan]] = None,
+    substrates: Sequence[str] = SUBSTRATES,
+    seed: int = DEFAULT_SEED,
+    size_bytes: int = DEFAULT_SIZE_BYTES,
+) -> List[Tuple[str, str, Optional[str], str, int, int]]:
+    """Enumerate the matrix cells in canonical (report) order."""
+    if plans is None:
+        plans = [BUILTIN_PLANS[name] for name in builtin_plan_names()]
+    for substrate in substrates:
+        if substrate not in SUBSTRATES:
+            raise ValueError(
+                f"unknown substrate {substrate!r}; choose from {SUBSTRATES}"
+            )
+    return [
+        (substrate, protocol, strategy, plan.to_json(), seed, size_bytes)
+        for substrate in substrates
+        for protocol, strategy in COMBOS
+        for plan in plans
+    ]
+
+
+def run_matrix(
+    plans: Optional[Sequence[FaultPlan]] = None,
+    substrates: Sequence[str] = SUBSTRATES,
+    seed: int = DEFAULT_SEED,
+    size_bytes: int = DEFAULT_SIZE_BYTES,
+    n_jobs: int = 1,
+) -> MatrixResult:
+    """Run the conformance sweep; deterministic report for equal seeds."""
+    specs = build_specs(plans, substrates, seed, size_bytes)
+    rows = ExperimentPool(n_jobs).map_shards(_run_cell_spec, specs)
+    cells = tuple(CellResult(**row) for row in rows)
+    report = render_report(cells, seed=seed, size_bytes=size_bytes)
+    return MatrixResult(cells=cells, report=report)
+
+
+def render_report(
+    cells: Sequence[CellResult], seed: int, size_bytes: int
+) -> str:
+    """Fixed-order plain-text matrix, byte-stable across equal-seed runs."""
+    packets = (size_bytes + 1024 - 1) // 1024
+    lines = [
+        "# fault-injection conformance matrix",
+        f"# seed={seed} size_bytes={size_bytes} packets={packets} "
+        f"slack_rounds={SLACK_ROUNDS}",
+        "# columns: substrate protocol strategy plan verdict intact "
+        "terminated within_bound frames rounds bound",
+    ]
+    for cell in cells:
+        verdict = "PASS" if cell.passed else "FAIL"
+        if cell.substrate == "des":
+            counts = f"{cell.frames} {cell.rounds} {cell.bound}"
+        else:
+            counts = "- - -"  # wall-clock substrate: counts vary run to run
+        lines.append(
+            f"{cell.substrate} {cell.protocol} {cell.strategy or '-'} "
+            f"{cell.plan} {verdict} "
+            f"{'yes' if cell.intact else 'NO'} "
+            f"{'yes' if cell.terminated else 'NO'} "
+            f"{'yes' if cell.within_bound else 'NO'} {counts}"
+        )
+    failures = sum(1 for cell in cells if not cell.passed)
+    lines.append(f"# cells={len(cells)} failures={failures}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,164 @@
+"""Builtin fault-plan library.
+
+Eight named, *bounded* plans covering the adversarial behaviours the
+paper's analysis assumes away: head-of-transfer loss, reply loss,
+duplication storms, bounded reordering, detectable corruption, latency
+spikes, and a seeded stochastic mix.  Every plan here has a finite
+fault budget (:meth:`repro.faults.plan.FaultPlan.is_bounded`), so a
+correct protocol must terminate under any of them — the conformance
+harness sweeps exactly this library by default.
+
+Stochastic rules are split per (kind, direction) stream on purpose:
+each rule consumes only its own frame stream and its own RNG, so a
+plan's decisions for the data path do not depend on how many replies
+happen to flow — the prerequisite for cross-substrate determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .plan import FaultPlan, FaultRule
+
+__all__ = ["BUILTIN_PLANS", "builtin_plan", "builtin_plan_names"]
+
+
+def _clean() -> FaultPlan:
+    return FaultPlan(
+        name="clean",
+        rules=(),
+        description="no faults; the baseline column of the matrix",
+    )
+
+
+def _drop_data_head() -> FaultPlan:
+    return FaultPlan(
+        name="drop-data-head",
+        rules=(
+            FaultRule(action="drop", kinds=("data",), direction="send", first=0, last=2),
+        ),
+        description="lose the first three data frames once each",
+    )
+
+
+def _drop_replies() -> FaultPlan:
+    return FaultPlan(
+        name="drop-replies",
+        rules=(
+            FaultRule(action="drop", kinds=("reply",), direction="recv", every=3, times=4),
+        ),
+        description="lose every third ack/nak, four times total",
+    )
+
+
+def _dup_burst() -> FaultPlan:
+    return FaultPlan(
+        name="dup-burst",
+        rules=(
+            FaultRule(
+                action="duplicate", kinds=("data",), direction="send",
+                first=1, last=4, count=2,
+            ),
+            FaultRule(
+                action="duplicate", kinds=("reply",), direction="recv",
+                indices=(0, 2), count=1,
+            ),
+        ),
+        description="triple-send early data frames, duplicate two replies",
+    )
+
+
+def _reorder_window() -> FaultPlan:
+    return FaultPlan(
+        name="reorder-window",
+        rules=(
+            FaultRule(
+                action="reorder", kinds=("data",), direction="send",
+                indices=(1, 5), depth=2,
+            ),
+        ),
+        description="two data frames each overtaken by the next two",
+    )
+
+
+def _corrupt_sprinkle() -> FaultPlan:
+    return FaultPlan(
+        name="corrupt-sprinkle",
+        rules=(
+            FaultRule(
+                action="corrupt", kinds=("data",), direction="send",
+                indices=(0, 3), corrupt_mask=0x5A,
+            ),
+        ),
+        description="CRC-detectable damage on two data frames",
+    )
+
+
+def _delay_spike() -> FaultPlan:
+    return FaultPlan(
+        name="delay-spike",
+        rules=(
+            FaultRule(
+                action="delay", kinds=("data",), direction="send",
+                indices=(2,), delay_s=0.08,
+            ),
+            FaultRule(
+                action="delay", kinds=("reply",), direction="recv",
+                indices=(1,), delay_s=0.08,
+            ),
+        ),
+        description="one late data frame and one late reply (RTT spike)",
+    )
+
+
+def _random_mayhem() -> FaultPlan:
+    return FaultPlan(
+        name="random-mayhem",
+        seed=85,
+        rules=(
+            FaultRule(
+                action="drop", kinds=("data",), direction="send",
+                probability=0.15, times=6,
+            ),
+            FaultRule(
+                action="duplicate", kinds=("data",), direction="send",
+                probability=0.1, times=4,
+            ),
+            FaultRule(
+                action="drop", kinds=("reply",), direction="recv",
+                probability=0.1, times=4,
+            ),
+        ),
+        description="seeded stochastic loss+duplication mix, bounded budget",
+    )
+
+
+BUILTIN_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        _clean(),
+        _drop_data_head(),
+        _drop_replies(),
+        _dup_burst(),
+        _reorder_window(),
+        _corrupt_sprinkle(),
+        _delay_spike(),
+        _random_mayhem(),
+    )
+}
+
+
+def builtin_plan(name: str) -> FaultPlan:
+    """Look up a builtin plan by name (KeyError lists the options)."""
+    try:
+        return BUILTIN_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; builtin plans: "
+            f"{', '.join(sorted(BUILTIN_PLANS))}"
+        ) from None
+
+
+def builtin_plan_names() -> List[str]:
+    """Builtin plan names in their canonical (insertion) order."""
+    return list(BUILTIN_PLANS)

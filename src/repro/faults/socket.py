@@ -1,0 +1,330 @@
+"""UDP adapter: a socket wrapper that replays a :class:`FaultPlan`.
+
+:class:`FaultySocket` generalises the original send-side-only
+``LossySocket``: it still applies a legacy
+:class:`~repro.simnet.errors.ErrorModel` coin-flip to outgoing
+datagrams, and on top interprets a fault plan on *both* directions —
+dropping, duplicating, corrupting, delaying, and reordering real
+datagrams.  Held datagrams live in bounded queues:
+
+- a **delay heap** per direction, keyed by wall-clock due time, flushed
+  whenever the socket is used;
+- a **reorder list** per direction, where each held datagram carries a
+  countdown of how many later datagrams must overtake it.
+
+Reorder-held incoming datagrams are force-flushed when a receive
+deadline expires, so a bounded plan can never wedge a transport: every
+held datagram is eventually delivered or the caller times out holding
+it in hand.  Frames are classified with :func:`repro.core.wire.peek`
+(no CRC check — a frame this very socket corrupted must still be
+classifiable), and plan time windows run on seconds since the wrapper
+was created.
+
+``datagrams_dropped`` keeps its historical meaning — send-side drops —
+while the receive side gets its own ledger (``datagrams_received``,
+``recv_dropped``, ``recv_loss_rate``), fixing the old accounting
+asymmetry where receive-side effects were invisible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import socket as _socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.wire import HEADER_BYTES, WireError, decode, encode, peek
+from ..simnet.errors import ErrorModel, PerfectChannel
+from .plan import FaultDecision, FaultPlan, PlanExecutor
+
+__all__ = ["FaultySocket"]
+
+#: FrameKind name → plan-DSL kind selector.
+_KIND_NAMES = {1: "data", 2: "ack", 3: "nak", 4: "control"}
+
+
+def _damage(datagram: bytes, mask: int, silent: bool) -> Optional[bytes]:
+    """Return a corrupted copy of ``datagram``.
+
+    Detectable damage (``silent=False``) XORs one byte of the payload
+    region (falling back to the last header byte for payload-less
+    frames) so the CRC check rejects the datagram at the receiver.
+    Silent damage decodes the frame, damages the payload, and re-encodes
+    — producing a *valid* datagram carrying wrong bytes, the interface-
+    DMA failure mode.  Returns None when silent damage is impossible
+    (no payload to damage, or the datagram is already undecodable),
+    which callers treat as detectable damage instead.
+    """
+    if silent:
+        try:
+            frame = decode(datagram)
+        except WireError:
+            return None
+        payload = getattr(frame, "payload", b"")
+        if not payload:
+            return None
+        damaged = bytes([payload[0] ^ mask]) + payload[1:]
+        return encode(dataclasses.replace(frame, payload=damaged))
+    index = HEADER_BYTES if len(datagram) > HEADER_BYTES else len(datagram) - 1
+    if index < 0:
+        return None
+    flipped = datagram[index] ^ mask
+    return datagram[:index] + bytes([flipped]) + datagram[index + 1 :]
+
+
+class _HeldQueue:
+    """Per-direction holding area for delayed and reordered datagrams."""
+
+    def __init__(self) -> None:
+        self._delayed: List[Tuple[float, int, bytes, object]] = []
+        self._reordered: List[List[object]] = []  # [countdown, data, addr]
+        self._tiebreak = 0
+
+    def __len__(self) -> int:
+        return len(self._delayed) + len(self._reordered)
+
+    def hold_delayed(self, due: float, data: bytes, addr: object) -> None:
+        heapq.heappush(self._delayed, (due, self._tiebreak, data, addr))
+        self._tiebreak += 1
+
+    def hold_reordered(self, countdown: int, data: bytes, addr: object) -> None:
+        self._reordered.append([countdown, data, addr])
+
+    def due(self, now: float) -> List[Tuple[bytes, object]]:
+        """Pop every delayed datagram whose release time has passed."""
+        released: List[Tuple[bytes, object]] = []
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, data, addr = heapq.heappop(self._delayed)
+            released.append((data, addr))
+        return released
+
+    def overtaken(self) -> List[Tuple[bytes, object]]:
+        """Count one passing datagram; pop reorder-holds that expire."""
+        released: List[Tuple[bytes, object]] = []
+        keep: List[List[object]] = []
+        for entry in self._reordered:
+            entry[0] -= 1  # type: ignore[operator]
+            if entry[0] <= 0:  # type: ignore[operator]
+                released.append((entry[1], entry[2]))  # type: ignore[arg-type]
+            else:
+                keep.append(entry)
+        self._reordered = keep
+        return released
+
+    def flush(self) -> List[Tuple[bytes, object]]:
+        """Release everything held, delayed first, in hold order."""
+        released = [(data, addr) for _, _, data, addr in sorted(self._delayed)]
+        self._delayed = []
+        released.extend((entry[1], entry[2]) for entry in self._reordered)  # type: ignore[misc]
+        self._reordered = []
+        return released
+
+    def next_due(self) -> Optional[float]:
+        return self._delayed[0][0] if self._delayed else None
+
+
+class FaultySocket:
+    """A UDP socket whose traffic passes through a fault plan.
+
+    Parameters
+    ----------
+    sock:
+        The real datagram socket to wrap.
+    error_model:
+        Legacy send-side loss model (the ``LossySocket`` contract);
+        consulted with the raw payload bytes, before the plan.
+    plan:
+        Optional :class:`FaultPlan` applied to both directions.
+    seed:
+        Root seed for the plan's stochastic rules.
+
+    Only the methods the transports use are wrapped; the receive path
+    implements its own timeout loop so held datagrams can be released
+    while the caller waits.
+    """
+
+    def __init__(
+        self,
+        sock: _socket.socket,
+        error_model: Optional[ErrorModel] = None,
+        plan: Optional[FaultPlan] = None,
+        seed: Optional[int] = None,
+    ):
+        self._sock = sock
+        self.error_model = error_model if error_model is not None else PerfectChannel()
+        self.plan = plan
+        self._epoch = time.monotonic()
+        self.executor = (
+            PlanExecutor(plan, seed=seed, clock=self._elapsed)
+            if plan is not None
+            else None
+        )
+        self._timeout: Optional[float] = None
+        self._send_held = _HeldQueue()
+        self._recv_held = _HeldQueue()
+        self._ready: List[Tuple[bytes, object]] = []
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.datagrams_received = 0
+        self.recv_dropped = 0
+        self.faults_injected: Dict[str, int] = {
+            action: 0 for action in ("drop", "duplicate", "reorder", "delay", "corrupt")
+        }
+
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def _decide(self, datagram: bytes, direction: str) -> FaultDecision:
+        assert self.executor is not None
+        kind_enum, seq = peek(datagram)
+        kind = _KIND_NAMES.get(int(kind_enum)) if kind_enum is not None else None
+        decision = self.executor.decide(kind, direction, seq=seq)
+        if decision.drop:
+            self.faults_injected["drop"] += 1
+        if decision.corrupt:
+            self.faults_injected["corrupt"] += 1
+        if decision.duplicates:
+            self.faults_injected["duplicate"] += decision.duplicates
+        if decision.delay_s:
+            self.faults_injected["delay"] += 1
+        if decision.reorder_depth:
+            self.faults_injected["reorder"] += 1
+        return decision
+
+    # -- send path ----------------------------------------------------------
+    def sendto(self, payload: bytes, address: Tuple[str, int]) -> int:
+        """Send unless the error model or the plan swallows the datagram."""
+        self._release_send_held()
+        self.datagrams_sent += 1
+        if self.error_model.drops(payload):
+            self.datagrams_dropped += 1
+            return len(payload)  # swallowed silently, like the real wire
+        if self.executor is None:
+            return self._sock.sendto(payload, address)
+        decision = self._decide(payload, "send")
+        if decision.drop:
+            self.datagrams_dropped += 1
+            return len(payload)
+        if decision.corrupt:
+            damaged = _damage(payload, decision.corrupt_mask, decision.silent)
+            if damaged is None:
+                damaged = _damage(payload, decision.corrupt_mask, silent=False)
+            if damaged is not None:
+                payload = damaged
+        if decision.reorder_depth:
+            self._send_held.hold_reordered(decision.reorder_depth, payload, address)
+            return len(payload)
+        if decision.delay_s:
+            due = time.monotonic() + decision.delay_s
+            self._send_held.hold_delayed(due, payload, address)
+            return len(payload)
+        sent = self._sock.sendto(payload, address)
+        for _ in range(decision.duplicates):
+            self._sock.sendto(payload, address)
+        for held, held_addr in self._send_held.overtaken():
+            self._sock.sendto(held, held_addr)
+        return sent
+
+    def _release_send_held(self) -> None:
+        for held, held_addr in self._send_held.due(time.monotonic()):
+            self._sock.sendto(held, held_addr)
+
+    # -- receive path -------------------------------------------------------
+    def recvfrom(self, bufsize: int):
+        """Receive one datagram, honouring the stored timeout.
+
+        Plan decisions apply to *incoming* traffic here; held datagrams
+        are released while waiting, and reorder-holds are force-flushed
+        when the deadline expires so bounded plans cannot lose data.
+        """
+        self._release_send_held()
+        deadline = (
+            None if self._timeout is None else time.monotonic() + self._timeout
+        )
+        while True:
+            now = time.monotonic()
+            self._ready.extend(self._recv_held.due(now))
+            if self._ready:
+                return self._pop_ready()
+            wait: Optional[float] = None
+            if deadline is not None:
+                wait = deadline - now
+                if wait <= 0:
+                    flushed = self._recv_held.flush()
+                    if flushed:
+                        self._ready.extend(flushed)
+                        return self._pop_ready()
+                    raise _socket.timeout("timed out")
+            next_due = self._recv_held.next_due()
+            if next_due is not None:
+                slice_s = max(next_due - now, 0.0)
+                wait = slice_s if wait is None else min(wait, slice_s)
+            self._sock.settimeout(wait)
+            try:
+                datagram, sender = self._sock.recvfrom(bufsize)
+            except _socket.timeout:
+                continue  # release held traffic / re-check the deadline
+            self.datagrams_received += 1
+            if self.executor is None:
+                return datagram, sender
+            decision = self._decide(datagram, "recv")
+            if decision.drop:
+                self.recv_dropped += 1
+                continue
+            if decision.corrupt:
+                damaged = _damage(datagram, decision.corrupt_mask, decision.silent)
+                if damaged is None:
+                    damaged = _damage(datagram, decision.corrupt_mask, silent=False)
+                if damaged is not None:
+                    datagram = damaged
+            if decision.reorder_depth:
+                self._recv_held.hold_reordered(
+                    decision.reorder_depth, datagram, sender
+                )
+                continue
+            if decision.delay_s:
+                self._recv_held.hold_delayed(
+                    time.monotonic() + decision.delay_s, datagram, sender
+                )
+                continue
+            self._ready.append((datagram, sender))
+            for _ in range(decision.duplicates):
+                self._ready.append((datagram, sender))
+            return self._pop_ready()
+
+    def _pop_ready(self):
+        datagram, sender = self._ready.pop(0)
+        self._ready.extend(self._recv_held.overtaken())
+        return datagram, sender
+
+    # -- plumbing -----------------------------------------------------------
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._timeout = timeout
+        self._sock.settimeout(timeout)
+
+    def getsockname(self) -> Tuple[str, int]:
+        return self._sock.getsockname()
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "FaultySocket":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed injected-loss fraction on the send side."""
+        if self.datagrams_sent == 0:
+            return 0.0
+        return self.datagrams_dropped / self.datagrams_sent
+
+    @property
+    def recv_loss_rate(self) -> float:
+        """Observed injected-loss fraction on the receive side."""
+        if self.datagrams_received == 0:
+            return 0.0
+        return self.recv_dropped / self.datagrams_received

@@ -48,6 +48,19 @@ class ErrorModel:
         """Return True if this frame is delivered with damaged payload."""
         return False
 
+    def duplicates(self, frame: object) -> int:
+        """Extra copies of this frame the medium should deliver.
+
+        The stochastic models never duplicate (the paper's channel
+        cannot); scripted fault plans
+        (:class:`repro.faults.scripted.ScriptedErrors`) override this.
+        """
+        return 0
+
+    def delay_s(self, frame: object) -> float:
+        """Extra propagation latency for this frame (default: none)."""
+        return 0.0
+
     def reset(self) -> None:
         """Return the model to its initial state (default: stateless)."""
 
@@ -222,6 +235,12 @@ class CompositeErrors(ErrorModel):
 
     def corrupts(self, frame: object) -> bool:
         return any([model.corrupts(frame) for model in self.models])
+
+    def duplicates(self, frame: object) -> int:
+        return sum([model.duplicates(frame) for model in self.models])
+
+    def delay_s(self, frame: object) -> float:
+        return sum([model.delay_s(frame) for model in self.models])
 
     def reset(self) -> None:
         for model in self.models:

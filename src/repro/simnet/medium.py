@@ -57,6 +57,7 @@ class Medium:
         self.frames_transmitted = 0
         self.frames_dropped = 0
         self.frames_corrupted = 0
+        self.frames_duplicated = 0
         self.bytes_transmitted = 0
         self.busy_until = 0.0
 
@@ -80,7 +81,16 @@ class Medium:
         self.bytes_transmitted += frame.wire_bytes
         lost = self.error_model.drops(frame)
         corrupted = (not lost) and self.error_model.corrupts(frame)
-        self.env.process(self._deliver(frame, src_name, dst, lost, corrupted))
+        copies = 0 if lost else self.error_model.duplicates(frame)
+        extra_delay = 0.0 if lost else self.error_model.delay_s(frame)
+        self.env.process(
+            self._deliver(frame, src_name, dst, lost, corrupted, extra_delay)
+        )
+        for _ in range(copies):
+            self.frames_duplicated += 1
+            self.env.process(
+                self._deliver(frame, src_name, dst, False, corrupted, extra_delay)
+            )
 
     @staticmethod
     def _damage(frame):
@@ -100,12 +110,18 @@ class Medium:
         return dataclasses.replace(frame, payload=damaged)
 
     def _deliver(
-        self, frame, src_name: str, dst: "Interface", lost: bool, corrupted: bool
+        self,
+        frame,
+        src_name: str,
+        dst: "Interface",
+        lost: bool,
+        corrupted: bool,
+        extra_delay: float = 0.0,
     ):
         """Propagation + device latency, then hand the frame to ``dst``."""
         start = self.env.now
         delay = self.params.propagation_delay_s + self.params.device_latency_s
-        yield self.env.timeout(delay)
+        yield self.env.timeout(delay + extra_delay)
         if self.trace is not None and self.params.propagation_delay_s > 0:
             self.trace.record(
                 Activity.PROPAGATE,

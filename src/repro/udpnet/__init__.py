@@ -17,7 +17,7 @@ Typical use (receiver in a thread, sender in the caller)::
 from .blast import BlastReceiver, BlastSender
 from .endpoints import DEFAULT_PACKET_BYTES, UdpEndpoint, UdpTransferOutcome
 from .fileserver import FileServiceError, UdpFileClient, UdpFileServer
-from .lossy import LossySocket
+from .lossy import FaultySocket, LossySocket
 from .saw import PerPacketAckReceiver, SawSender
 from .sliding import SlidingWindowSender
 
@@ -26,6 +26,7 @@ __all__ = [
     "UdpTransferOutcome",
     "DEFAULT_PACKET_BYTES",
     "LossySocket",
+    "FaultySocket",
     "SawSender",
     "SlidingWindowSender",
     "PerPacketAckReceiver",

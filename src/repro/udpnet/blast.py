@@ -17,6 +17,7 @@ from ..core.strategies import (
     RetransmissionStrategy,
     get_strategy,
 )
+from ..core.timers import FixedTimeout, TimeoutPolicy
 from ..core.tracker import ReceiverTracker, ReceptionReport
 from ..core.wire import encode
 from .endpoints import UdpEndpoint, UdpTransferOutcome
@@ -36,14 +37,20 @@ class BlastSender(UdpEndpoint):
         reliable_retry_s: float = 0.02,
         max_rounds: int = 500,
         transfer_id: int = 1,
+        timeout_policy: Optional[TimeoutPolicy] = None,
     ) -> UdpTransferOutcome:
         """Transfer ``data`` to ``dst`` as one blast (plus retransmission).
 
         ``timeout_s`` is the long T_r timer for the full-retransmission
         modes; ``reliable_retry_s`` is the retry period of the reliable
-        last packet in the gobackn/selective scheme.
+        last packet in the gobackn/selective scheme.  ``timeout_policy``
+        drives the T_r timer (default: :class:`FixedTimeout` over
+        ``timeout_s``, the historical behaviour); per Karn's rule only
+        the first round's reply — no retransmissions outstanding, no
+        nudge retries — contributes an RTT sample.
         """
         strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
+        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
         frames = packetize(data, self.packet_bytes, transfer_id)
         total = len(frames)
         outcome = UdpTransferOutcome(
@@ -52,10 +59,10 @@ class BlastSender(UdpEndpoint):
         working: List[int] = list(range(total))
         start = time.monotonic()
         reliable = strategy.mode is FailureDetection.LAST_PACKET_RELIABLE
-        wait_s = reliable_retry_s if reliable else timeout_s
 
         for round_index in range(max_rounds):
             outcome.rounds += 1
+            wait_s = reliable_retry_s if reliable else policy.current()
             # Send the round's working set; the last packet requests a reply.
             for position, seq in enumerate(working):
                 frame = frames[seq]
@@ -65,6 +72,7 @@ class BlastSender(UdpEndpoint):
                 outcome.data_frames_sent += 1
                 if round_index:
                     outcome.retransmissions += 1
+            round_sent_at = time.monotonic()
             reply = self._await_reply(transfer_id, wait_s)
             # Reliable-last mode: keep nudging the last packet by itself.
             retries = 0
@@ -78,8 +86,12 @@ class BlastSender(UdpEndpoint):
                 reply = self._await_reply(transfer_id, wait_s)
             if reply is None:
                 outcome.timeouts += 1
+                policy.record_timeout()
                 working = strategy.next_working_set(total, None)
                 continue
+            if round_index == 0 and retries == 0:
+                # Karn-clean round: every frame sent exactly once.
+                policy.record_sample(time.monotonic() - round_sent_at)
             if isinstance(reply, AckFrame):
                 outcome.ok = True
                 outcome.elapsed_s = time.monotonic() - start

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.wire import WireError, decode
+from ..faults.plan import FaultPlan
+from ..faults.socket import FaultySocket
 from ..simnet.errors import ErrorModel
 from .lossy import LossySocket
 
@@ -58,12 +60,19 @@ class UdpEndpoint:
         bind: Tuple[str, int] = ("127.0.0.1", 0),
         error_model: Optional[ErrorModel] = None,
         packet_bytes: int = DEFAULT_PACKET_BYTES,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_seed: Optional[int] = None,
     ):
         if packet_bytes < 1:
             raise ValueError(f"packet_bytes must be >= 1, got {packet_bytes}")
         raw = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         raw.bind(bind)
-        self.sock = LossySocket(raw, error_model)
+        if fault_plan is not None:
+            self.sock = FaultySocket(
+                raw, error_model=error_model, plan=fault_plan, seed=fault_seed
+            )
+        else:
+            self.sock = LossySocket(raw, error_model)
         self.packet_bytes = packet_bytes
 
     @property

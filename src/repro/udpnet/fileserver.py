@@ -78,8 +78,16 @@ class UdpFileServer(BlastSender, BlastReceiver):
         error_model: Optional[ErrorModel] = None,
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         strategy: str = "gobackn",
+        fault_plan=None,
+        fault_seed: Optional[int] = None,
     ):
-        super().__init__(bind=bind, error_model=error_model, packet_bytes=packet_bytes)
+        super().__init__(
+            bind=bind,
+            error_model=error_model,
+            packet_bytes=packet_bytes,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+        )
         self.files: Dict[str, bytes] = dict(files or {})
         self.strategy = strategy
         self.requests_served = 0
@@ -170,8 +178,16 @@ class UdpFileClient(BlastReceiver, BlastSender):
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         request_timeout_s: float = 0.25,
         max_retries: int = 20,
+        fault_plan=None,
+        fault_seed: Optional[int] = None,
     ):
-        super().__init__(bind=bind, error_model=error_model, packet_bytes=packet_bytes)
+        super().__init__(
+            bind=bind,
+            error_model=error_model,
+            packet_bytes=packet_bytes,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+        )
         self.server = server
         self.request_timeout_s = request_timeout_s
         self.max_retries = max_retries

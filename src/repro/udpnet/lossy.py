@@ -5,60 +5,33 @@ models from :mod:`repro.simnet.errors` (which are transport-agnostic coin
 flippers) are applied at send time to emulate the paper's lossy network
 and interfaces.  Dropping on the *sender* side keeps the receiver
 implementation honest — it simply never sees the datagram.
+
+:class:`LossySocket` is now the plan-less specialisation of
+:class:`repro.faults.socket.FaultySocket`, which adds scripted
+duplication, reordering, delay, corruption and receive-side loss on top
+of the same send-side contract (``datagrams_sent`` /
+``datagrams_dropped`` / ``loss_rate`` are unchanged).
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..simnet.errors import ErrorModel, PerfectChannel
+from ..faults.socket import FaultySocket
+from ..simnet.errors import ErrorModel
 
-__all__ = ["LossySocket"]
+__all__ = ["LossySocket", "FaultySocket"]
 
 
-class LossySocket:
+class LossySocket(FaultySocket):
     """A UDP socket whose outgoing datagrams pass through an error model.
 
     Only the methods the transport uses are wrapped; everything else
-    delegates to the underlying socket.
+    delegates to the underlying socket.  Kept as a named class (rather
+    than an alias) so ``LossySocket(sock, model)`` remains the
+    documented two-argument constructor.
     """
 
     def __init__(self, sock: socket.socket, error_model: Optional[ErrorModel] = None):
-        self._sock = sock
-        self.error_model = error_model if error_model is not None else PerfectChannel()
-        self.datagrams_sent = 0
-        self.datagrams_dropped = 0
-
-    def sendto(self, payload: bytes, address: Tuple[str, int]) -> int:
-        """Send unless the error model drops the datagram."""
-        self.datagrams_sent += 1
-        if self.error_model.drops(payload):
-            self.datagrams_dropped += 1
-            return len(payload)  # swallowed silently, like the real wire
-        return self._sock.sendto(payload, address)
-
-    def recvfrom(self, bufsize: int):
-        return self._sock.recvfrom(bufsize)
-
-    def settimeout(self, timeout: Optional[float]) -> None:
-        self._sock.settimeout(timeout)
-
-    def getsockname(self) -> Tuple[str, int]:
-        return self._sock.getsockname()
-
-    def close(self) -> None:
-        self._sock.close()
-
-    def __enter__(self) -> "LossySocket":
-        return self
-
-    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        self.close()
-
-    @property
-    def loss_rate(self) -> float:
-        """Observed injected-loss fraction."""
-        if self.datagrams_sent == 0:
-            return 0.0
-        return self.datagrams_dropped / self.datagrams_sent
+        super().__init__(sock, error_model=error_model)

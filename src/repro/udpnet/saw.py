@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from ..core.base import packetize, reassemble
 from ..core.frames import AckFrame, DataFrame, with_reply_flag
+from ..core.timers import FixedTimeout, TimeoutPolicy
 from ..core.tracker import ReceiverTracker
 from ..core.wire import encode
 from .endpoints import UdpEndpoint, UdpTransferOutcome
@@ -31,8 +32,19 @@ class SawSender(UdpEndpoint):
         timeout_s: float = 0.05,
         max_retries: int = 200,
         transfer_id: int = 1,
+        timeout_policy: Optional[TimeoutPolicy] = None,
     ) -> UdpTransferOutcome:
-        """Transfer ``data`` to ``dst``; blocks until acknowledged."""
+        """Transfer ``data`` to ``dst``; blocks until acknowledged.
+
+        ``timeout_policy`` drives the per-packet retransmission timer;
+        the default :class:`FixedTimeout` preserves the historical
+        ``timeout_s`` behaviour.  RTT samples follow Karn's rule: a
+        packet's exchange is sampled only if it was sent exactly once
+        and no stale/duplicate acknowledgement was consumed while
+        waiting — otherwise the measured interval could pair a
+        retransmission with an earlier transmission's ack.
+        """
+        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
         frames = packetize(data, self.packet_bytes, transfer_id)
         outcome = UdpTransferOutcome(
             ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=len(frames)
@@ -44,10 +56,11 @@ class SawSender(UdpEndpoint):
             retries = 0
             while True:
                 self.sock.sendto(datagram, dst)
+                sent_at = time.monotonic()
                 outcome.data_frames_sent += 1
                 if retries:
                     outcome.retransmissions += 1
-                reply = self._recv_frame(timeout_s)
+                reply = self._recv_frame(policy.current())
                 if reply is not None:
                     received, _ = reply
                     if (
@@ -55,11 +68,15 @@ class SawSender(UdpEndpoint):
                         and received.transfer_id == transfer_id
                         and received.seq == frame.seq
                     ):
+                        if retries == 0:
+                            # Karn-clean: one send, one matching ack.
+                            policy.record_sample(time.monotonic() - sent_at)
                         break
                     # A stale ack for an earlier packet: resend and rewait.
                     retries += 1
                     continue
                 outcome.timeouts += 1
+                policy.record_timeout()
                 retries += 1
                 if retries > max_retries:
                     outcome.error = f"packet {frame.seq}: no ack in {max_retries} tries"

@@ -9,10 +9,11 @@ The receiver is the same per-packet-ack receiver stop-and-wait uses.
 from __future__ import annotations
 
 import time
-from typing import Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..core.base import packetize
 from ..core.frames import AckFrame, with_reply_flag
+from ..core.timers import FixedTimeout, TimeoutPolicy
 from ..core.wire import encode
 from .endpoints import UdpEndpoint, UdpTransferOutcome
 from .saw import PerPacketAckReceiver
@@ -30,8 +31,17 @@ class SlidingWindowSender(UdpEndpoint):
         timeout_s: float = 0.05,
         max_rounds: int = 200,
         transfer_id: int = 1,
+        timeout_policy: Optional[TimeoutPolicy] = None,
     ) -> UdpTransferOutcome:
-        """Transfer ``data`` to ``dst``; blocks until every ack arrives."""
+        """Transfer ``data`` to ``dst``; blocks until every ack arrives.
+
+        ``timeout_policy`` sets each round's ack-collection budget
+        (default: :class:`FixedTimeout` over ``timeout_s``).  Per Karn's
+        rule only a clean first round — all packets sent once, all acks
+        in — contributes an RTT sample; incomplete rounds back the
+        timer off instead.
+        """
+        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
         frames = [with_reply_flag(f) for f in packetize(data, self.packet_bytes, transfer_id)]
         datagrams = {f.seq: encode(f) for f in frames}
         total = len(frames)
@@ -66,12 +76,17 @@ class SlidingWindowSender(UdpEndpoint):
                 outcome.data_frames_sent += 1
                 if round_index:
                     outcome.retransmissions += 1
-            drain_acks(timeout_s)
+            round_sent_at = time.monotonic()
+            drain_acks(policy.current())
             if len(acked) == total:
+                if round_index == 0:
+                    # Karn-clean: no packet was ever retransmitted.
+                    policy.record_sample(time.monotonic() - round_sent_at)
                 outcome.ok = True
                 outcome.elapsed_s = time.monotonic() - start
                 return outcome
             outcome.timeouts += 1
+            policy.record_timeout()
         outcome.error = f"{total - len(acked)} packets unacked after {max_rounds} rounds"
         outcome.elapsed_s = time.monotonic() - start
         return outcome

@@ -1,0 +1,129 @@
+"""Conformance harness: fast DES sweep + spot-checked UDP cells.
+
+The full 96-cell matrix lives in ``benchmarks/`` (and the committed
+golden ledger); here we keep the DES side exhaustive over a plan subset
+and only spot-check the slow wall-clock substrate.
+"""
+
+import pytest
+
+from repro.faults.conformance import (
+    COMBOS,
+    SUBSTRATES,
+    build_specs,
+    render_report,
+    run_matrix,
+)
+from repro.faults.plans import BUILTIN_PLANS, builtin_plan, builtin_plan_names
+
+FAST_PLANS = [
+    builtin_plan("clean"),
+    builtin_plan("drop-data-head"),
+    builtin_plan("dup-burst"),
+    builtin_plan("random-mayhem"),
+]
+
+
+class TestBuiltinPlans:
+    def test_catalogue_is_stable(self):
+        names = builtin_plan_names()
+        assert names == builtin_plan_names()  # stable catalogue order
+        assert "clean" in names
+        assert len(names) >= 6  # the acceptance floor for the matrix
+
+    def test_all_builtin_plans_bounded(self):
+        for name in builtin_plan_names():
+            plan = BUILTIN_PLANS[name]
+            assert plan.is_bounded, f"builtin plan {name} must be bounded"
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError):
+            builtin_plan("no-such-plan")
+
+    def test_plans_round_trip_through_json(self):
+        from repro.faults.plan import FaultPlan
+
+        for name in builtin_plan_names():
+            plan = BUILTIN_PLANS[name]
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestBuildSpecs:
+    def test_canonical_order_and_coverage(self):
+        specs = build_specs(plans=FAST_PLANS, substrates=("des",))
+        assert len(specs) == len(COMBOS) * len(FAST_PLANS)
+        protocols = {spec[1] for spec in specs}
+        assert protocols == {"stop_and_wait", "sliding_window", "blast"}
+        strategies = {spec[2] for spec in specs if spec[1] == "blast"}
+        assert strategies == {"full_no_nak", "full_nak", "gobackn", "selective"}
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError, match="substrate"):
+            build_specs(substrates=("carrier-pigeon",))
+
+    def test_default_covers_both_substrates(self):
+        specs = build_specs()
+        assert {spec[0] for spec in specs} == set(SUBSTRATES)
+        assert len(specs) == len(COMBOS) * len(BUILTIN_PLANS) * len(SUBSTRATES)
+
+
+class TestDesMatrix:
+    def test_every_cell_passes(self):
+        result = run_matrix(plans=FAST_PLANS, substrates=("des",))
+        assert len(result.cells) == len(COMBOS) * len(FAST_PLANS)
+        assert result.all_passed, result.failures
+
+    def test_report_is_deterministic(self):
+        first = run_matrix(plans=FAST_PLANS, substrates=("des",))
+        second = run_matrix(plans=FAST_PLANS, substrates=("des",))
+        assert first.report == second.report
+        assert first.cells == second.cells
+
+    def test_report_format(self):
+        result = run_matrix(plans=FAST_PLANS[:1], substrates=("des",))
+        lines = result.report.splitlines()
+        assert lines[0].startswith("# fault-injection conformance matrix")
+        assert lines[-1] == f"# cells={len(result.cells)} failures=0"
+        for cell_line in lines[3:-1]:
+            fields = cell_line.split()
+            assert fields[0] == "des"
+            assert fields[4] == "PASS"
+
+    def test_failures_surface_in_report(self):
+        # Render a hand-built failing cell: the report must say FAIL.
+        from repro.faults.conformance import CellResult
+
+        cell = CellResult(
+            substrate="des", protocol="blast", strategy="gobackn",
+            plan="clean", ok=False, intact=False, terminated=True,
+            within_bound=True, frames=1, rounds=1, bound=10,
+            error="synthetic",
+        )
+        report = render_report([cell], seed=0, size_bytes=1024)
+        assert "FAIL" in report
+        assert report.rstrip().endswith("failures=1")
+
+
+@pytest.mark.slow
+class TestUdpSpotChecks:
+    """A sparse sample of the wall-clock substrate (full grid in benchmarks)."""
+
+    @pytest.mark.parametrize(
+        "protocol,strategy,plan_name",
+        [
+            ("stop_and_wait", None, "drop-data-head"),
+            ("blast", "selective", "reorder-window"),
+            ("blast", "full_nak", "dup-burst"),
+        ],
+    )
+    def test_cell_passes(self, protocol, strategy, plan_name):
+        from repro.faults.conformance import _run_cell_spec
+
+        plan = builtin_plan(plan_name)
+        row = _run_cell_spec(
+            ("udp", protocol, strategy, plan.to_json(), 7, 4 * 1024 + 17)
+        )
+        assert row["ok"], row["error"]
+        assert row["intact"]
+        assert row["terminated"]
+        assert row["within_bound"]

@@ -1,0 +1,204 @@
+"""Fault injection on the V-kernel IPC path and MoveTo bulk transfers."""
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.scripted import ScriptedErrors
+from repro.faults.vkernel import IpcFaultHook
+from repro.sim import Environment
+from repro.simnet import NetworkParams, make_lan
+from repro.vkernel import VKernel
+from repro.vkernel.messages import MessageFrame, MessageKind, ProcessRef
+
+
+def _plan(*rules, name="t", seed=0):
+    return FaultPlan(name=name, rules=tuple(rules), seed=seed)
+
+
+def _frame(kind, msg_id=1):
+    return MessageFrame(kind, ProcessRef(1, 1), ProcessRef(2, 1), msg_id, ("x",))
+
+
+class TestIpcFaultHook:
+    def test_requests_are_the_send_stream(self):
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="drop", kinds=("control",), direction="send"))
+        )
+        assert hook.decide(_frame(MessageKind.SEND)).drop
+        assert not hook.decide(_frame(MessageKind.REPLY)).drop
+        assert hook.frames_seen == 2
+        assert hook.frames_dropped == 1
+
+    def test_replies_are_the_recv_stream(self):
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="drop", kinds=("control",), direction="recv"))
+        )
+        assert not hook.decide(_frame(MessageKind.SEND)).drop
+        assert hook.decide(_frame(MessageKind.REPLY)).drop
+
+    def test_seq_matches_message_id(self):
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="drop", kinds=("control",), seqs=(3,)))
+        )
+        assert not hook.decide(_frame(MessageKind.SEND, msg_id=2)).drop
+        assert hook.decide(_frame(MessageKind.SEND, msg_id=3)).drop
+
+    def test_detectable_corruption_degrades_to_drop(self):
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="corrupt", kinds=("control",), indices=(0,)))
+        )
+        decision = hook.decide(_frame(MessageKind.SEND))
+        assert decision.drop
+        assert not decision.corrupt
+
+    def test_reorder_degrades_to_delay(self):
+        hook = IpcFaultHook(
+            _plan(
+                FaultRule(action="reorder", kinds=("control",), indices=(0,), depth=4),
+            ),
+            reorder_unit_s=0.01,
+        )
+        decision = hook.decide(_frame(MessageKind.SEND))
+        assert not decision.drop
+        assert hook.extra_delay_s(decision) == 4 * 0.01
+
+
+def _kernels(env, client_faults=None, server_faults=None, send_timeout_s=0.05):
+    host_a, host_b, _ = make_lan(env, NetworkParams.vkernel())
+    ka = VKernel(env, host_a, kernel_id=1, send_timeout_s=send_timeout_s,
+                 ipc_faults=client_faults)
+    kb = VKernel(env, host_b, kernel_id=2, send_timeout_s=send_timeout_s,
+                 ipc_faults=server_faults)
+    return ka, kb
+
+
+def _rendezvous(env, ka, kb):
+    """Run one Send/Receive/Reply exchange; returns (result, executions)."""
+    client = ka.create_process("client")
+    server = kb.create_process("server")
+    executions = []
+
+    def server_body():
+        while True:
+            request = yield from kb.receive(server)
+            executions.append(request.msg_id)
+            yield from kb.reply(server, request, "done", len(executions))
+
+    def client_body():
+        reply = yield from ka.send(client, server.ref, "work")
+        return reply
+
+    env.process(server_body())
+    proc = env.process(client_body())
+    return env.run(proc), executions
+
+
+class TestRendezvousUnderFaults:
+    def test_dropped_request_is_retried(self):
+        env = Environment()
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="drop", kinds=("control",),
+                            direction="send", indices=(0,)))
+        )
+        ka, kb = _kernels(env, client_faults=hook)
+        result, executions = _rendezvous(env, ka, kb)
+        assert result == ("done", 1)
+        assert executions == [1]  # retry delivered it exactly once
+        assert hook.frames_dropped == 1
+        assert env.now >= 0.05  # at least one retransmission interval
+
+    def test_dropped_reply_replayed_from_cache(self):
+        env = Environment()
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="drop", kinds=("control",),
+                            direction="recv", indices=(0,)))
+        )
+        ka, kb = _kernels(env, server_faults=hook)
+        result, executions = _rendezvous(env, ka, kb)
+        assert result == ("done", 1)
+        # The server body ran once; the lost reply was replayed, not
+        # re-executed.
+        assert executions == [1]
+        assert hook.frames_dropped == 1
+
+    def test_duplicated_request_suppressed(self):
+        env = Environment()
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="duplicate", kinds=("control",),
+                            direction="send", indices=(0,), count=2))
+        )
+        ka, kb = _kernels(env, client_faults=hook)
+        result, executions = _rendezvous(env, ka, kb)
+        assert result == ("done", 1)
+        assert executions == [1]  # duplicates swallowed by the dedup table
+        assert hook.frames_duplicated == 2
+
+    def test_delayed_request_still_completes(self):
+        env = Environment()
+        hook = IpcFaultHook(
+            _plan(FaultRule(action="delay", kinds=("control",),
+                            direction="send", indices=(0,), delay_s=0.02))
+        )
+        ka, kb = _kernels(env, client_faults=hook)
+        result, executions = _rendezvous(env, ka, kb)
+        assert result == ("done", 1)
+        assert executions == [1]
+        assert env.now >= 0.02
+
+    def test_faultless_hook_changes_nothing(self):
+        baseline_env = Environment()
+        ka, kb = _kernels(baseline_env)
+        baseline, _ = _rendezvous(baseline_env, ka, kb)
+
+        env = Environment()
+        hook = IpcFaultHook(_plan())
+        ka, kb = _kernels(env, client_faults=hook, server_faults=None)
+        result, _ = _rendezvous(env, ka, kb)
+        assert result == baseline
+        assert hook.frames_dropped == 0
+
+
+class TestMoveUnderScriptedLan:
+    def test_move_to_survives_scripted_data_loss(self):
+        env = Environment()
+        plan = _plan(
+            FaultRule(action="drop", kinds=("data",), indices=(1,)),
+            FaultRule(action="duplicate", kinds=("data",), indices=(3,)),
+        )
+        host_a, host_b, _ = make_lan(
+            env, NetworkParams.vkernel(), error_model=ScriptedErrors(plan)
+        )
+        ka = VKernel(env, host_a, kernel_id=1)
+        kb = VKernel(env, host_b, kernel_id=2)
+        mover = ka.create_process("mover")
+        sink = kb.create_process("sink")
+        payload = bytes(range(256)) * 24  # 6 KB across the blast engine
+        sink.allocate("inbox", len(payload))
+
+        def body():
+            result = yield from ka.move_to(
+                mover, sink.ref, "inbox", payload, strategy="selective"
+            )
+            return result
+
+        result = env.run(env.process(body()))
+        assert result.ok
+        assert sink.read_buffer("inbox") == payload
+        assert result.stats.data_frames_sent > result.n_packets  # retransmitted
+
+    def test_move_from_survives_scripted_reply_loss(self):
+        env = Environment()
+        plan = _plan(FaultRule(action="drop", kinds=("reply",), indices=(0,)))
+        host_a, host_b, _ = make_lan(
+            env, NetworkParams.vkernel(), error_model=ScriptedErrors(plan)
+        )
+        ka = VKernel(env, host_a, kernel_id=1)
+        kb = VKernel(env, host_b, kernel_id=2)
+        reader = ka.create_process("reader")
+        source = kb.create_process("source")
+        payload = bytes(reversed(range(256))) * 20
+        source.write_buffer("outbox", payload)
+
+        def body():
+            data = yield from ka.move_from(reader, source.ref, "outbox")
+            return data
+
+        assert env.run(env.process(body())) == payload

@@ -1,0 +1,183 @@
+"""TimeoutPolicy wiring through the UDP senders, with Karn regression.
+
+The regression at stake: :class:`~repro.core.timers.AdaptiveTimeout`
+must never take an RTT sample from an ambiguous exchange — one whose
+round involved a retransmission or a consumed duplicate/stale
+acknowledgement — or a single delay spike poisons the estimator for the
+rest of the transfer (Karn's rule).  Fault plans make the ambiguous
+exchanges deterministic.
+"""
+
+import threading
+
+from repro.core.timers import AdaptiveTimeout, FixedTimeout
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.udpnet import (
+    BlastReceiver,
+    BlastSender,
+    PerPacketAckReceiver,
+    SawSender,
+    SlidingWindowSender,
+)
+
+DATA = bytes(range(256)) * 16  # 4 KB -> 4 packets
+
+
+def run_pair(receiver, serve_kwargs, send_fn):
+    box = {}
+
+    def serve():
+        box["received"] = receiver.serve_one(**serve_kwargs)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    box["sent"] = send_fn()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "receiver thread hung"
+    return box["sent"], box["received"]
+
+
+def _plan(*rules, name="t", seed=0):
+    return FaultPlan(name=name, rules=tuple(rules), seed=seed)
+
+
+class TestSawAdaptiveTimeout:
+    def test_clean_run_samples_every_packet(self):
+        policy = AdaptiveTimeout(initial_s=1.0)
+        with PerPacketAckReceiver() as receiver, SawSender() as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.samples == sent.n_packets
+        assert policy.expirations == 0
+        # The estimator converged from the terrible initial guess to
+        # loopback-scale RTTs.
+        assert policy.current() < 1.0
+        assert policy.srtt < 0.05
+
+    def test_karn_dropped_ack_round_not_sampled(self):
+        """Packet 0's first ack is dropped: the retried exchange is
+        ambiguous and must not be sampled; the timer must back off."""
+        policy = AdaptiveTimeout(initial_s=0.05)
+        plan = _plan(
+            FaultRule(action="drop", kinds=("ack",), direction="recv",
+                      indices=(0,))
+        )
+        with PerPacketAckReceiver() as receiver, SawSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.expirations >= 1  # the drop forced a timer expiry
+        # Every packet except the ambiguous one contributed a sample.
+        assert policy.samples == sent.n_packets - 1
+        assert policy.srtt < 0.05
+
+    def test_karn_duplicate_ack_cascade_not_sampled(self):
+        """Packet 0's ack is duplicated.  The stale copy is consumed
+        while waiting for packet 1's ack, forcing a resend of packet 1,
+        whose own doubled acks cascade the staleness down the transfer:
+        only packet 0's exchange stays Karn-clean."""
+        policy = AdaptiveTimeout(initial_s=0.5)
+        plan = _plan(
+            FaultRule(action="duplicate", kinds=("ack",), direction="recv",
+                      indices=(0,), count=1)
+        )
+        with PerPacketAckReceiver() as receiver, SawSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy),
+            )
+        assert sent.ok and received.data == DATA
+        assert sent.retransmissions >= 1
+        assert policy.samples == 1  # only the first exchange was clean
+        assert policy.srtt < 0.05
+
+    def test_fixed_policy_matches_legacy_default(self):
+        with PerPacketAckReceiver() as receiver, SawSender() as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=FixedTimeout(0.05)),
+            )
+        assert sent.ok and received.data == DATA
+        assert sent.retransmissions == 0
+
+
+class TestBlastAdaptiveTimeout:
+    def test_clean_run_samples_first_round_only(self):
+        policy = AdaptiveTimeout(initial_s=1.0)
+        with BlastReceiver() as receiver, BlastSender() as sender:
+            sent, received = run_pair(
+                receiver, {"nak": True},
+                lambda: sender.send(DATA, receiver.address,
+                                    strategy="full_nak",
+                                    timeout_policy=policy),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.samples == 1
+        assert policy.srtt < 0.2
+
+    def test_karn_lost_first_reply_never_sampled(self):
+        """Round 0's reply is dropped: the transfer completes via
+        retransmission rounds, none of which are Karn-clean."""
+        policy = AdaptiveTimeout(initial_s=0.1)
+        plan = _plan(
+            FaultRule(action="drop", kinds=("reply",), direction="recv",
+                      indices=(0,))
+        )
+        with BlastReceiver() as receiver, BlastSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {"nak": True, "linger_s": 0.5},
+                lambda: sender.send(DATA, receiver.address,
+                                    strategy="full_nak",
+                                    timeout_policy=policy,
+                                    timeout_s=0.1, max_rounds=60),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.expirations >= 1
+        assert policy.samples == 0  # no round was unambiguous
+        assert policy.current() >= 0.1  # backoff never undone by a sample
+
+
+class TestSlidingWindowAdaptiveTimeout:
+    def test_clean_run_samples_first_round(self):
+        policy = AdaptiveTimeout(initial_s=1.0)
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender() as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.samples == 1
+        assert policy.expirations == 0
+
+    def test_lossy_first_round_not_sampled(self):
+        policy = AdaptiveTimeout(initial_s=0.05)
+        plan = _plan(
+            FaultRule(action="drop", kinds=("data",), indices=(1,))
+        )
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy, max_rounds=60),
+            )
+        assert sent.ok and received.data == DATA
+        assert sent.retransmissions >= 1
+        assert policy.samples == 0  # round 0 was dirtied by the loss
