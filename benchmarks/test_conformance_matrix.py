@@ -1,7 +1,7 @@
 """The full conformance matrix, checked against the committed ledger.
 
 Runs every (protocol, strategy) × builtin-plan cell on both substrates —
-96 cells — and regenerates ``results/conformance_matrix.txt``.  The
+108 cells — and regenerates ``results/conformance_matrix.txt``.  The
 rendered report must be byte-identical to the committed golden ledger:
 DES rows carry deterministic frame/round counts, UDP rows carry only
 verdicts, so any drift in protocol behaviour, plan interpretation, or
@@ -17,7 +17,7 @@ GOLDEN = Path(__file__).parent / "results" / "conformance_matrix.txt"
 
 def test_full_matrix_matches_golden_ledger(results_dir):
     result = run_matrix(n_jobs=4)
-    assert len(result.cells) == 96
+    assert len(result.cells) == 108
     assert result.all_passed, result.failures
 
     (results_dir / "conformance_matrix.txt").write_text(result.report)

@@ -1,0 +1,56 @@
+"""Service scaling ledger, checked byte-for-byte against the golden file.
+
+The full {1,4,16,64} × {blast,sliding} × {fifo,rr,copy-budget} grid of
+DES service runs.  Every cell is deterministic, so the rendered report
+must match ``results/service_scaling.txt`` exactly — any drift in the
+scheduler, the state machines, the metrics rounding, or the report
+format shows up as a diff here — and sharding the cells across worker
+processes must not change a byte.
+"""
+
+from pathlib import Path
+
+from repro.service.loadgen import run_scaling_sweep
+
+GOLDEN = Path(__file__).parent / "results" / "service_scaling.txt"
+
+
+def test_scaling_sweep_matches_golden_ledger(results_dir):
+    sweep = run_scaling_sweep(n_jobs=4)
+    assert len(sweep.cells) == 24
+    assert sweep.all_ok, [
+        cell for cell in sweep.cells
+        if cell["failed"] or cell["rejected"] or not cell["payloads_ok"]
+    ]
+
+    (results_dir / "service_scaling.txt").write_text(sweep.report)
+    assert sweep.report == GOLDEN.read_text(), (
+        "service scaling report drifted from the committed golden ledger; "
+        "regenerate with: PYTHONPATH=src python -c \"from "
+        "repro.service.loadgen import run_scaling_sweep; "
+        "open('benchmarks/results/service_scaling.txt','w')"
+        ".write(run_scaling_sweep(n_jobs=4).report)\""
+    )
+
+
+def test_scaling_sweep_is_byte_stable_across_job_counts():
+    serial = run_scaling_sweep(n_jobs=1)
+    sharded = run_scaling_sweep(n_jobs=3)
+    assert serial.report == sharded.report
+    assert serial.cells == sharded.cells
+
+
+def test_completion_time_grows_with_concurrency():
+    # The paper's copy-cost model predicts service time scales with
+    # offered load once the processor is the bottleneck; the ledger
+    # must show monotone p50 along each (protocol, policy) column.
+    sweep = run_scaling_sweep(n_jobs=4)
+    by_combo = {}
+    for cell in sweep.cells:
+        key = (cell["protocol"], cell["policy"])
+        by_combo.setdefault(key, []).append(
+            (cell["concurrency"], cell["p50_s"]))
+    for key, points in by_combo.items():
+        points.sort()
+        p50s = [p for _, p in points]
+        assert p50s == sorted(p50s), f"p50 not monotone for {key}: {points}"

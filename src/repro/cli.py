@@ -11,6 +11,8 @@ regen     regenerate every paper table/figure into a directory
 moveto    V-kernel MoveTo demonstration
 lint      replint static analysis (determinism & protocol invariants)
 faults    fault-injection conformance matrix across DES and UDP
+serve     concurrent transfer service on one UDP endpoint
+loadgen   drive N concurrent clients (DES or loopback UDP)
 
 Examples
 --------
@@ -30,6 +32,9 @@ Examples
     python -m repro --jobs 4 faults
     python -m repro faults --substrate des --plans drop-replies,dup-burst
     python -m repro faults --list-plans
+    python -m repro serve --once 16 --policy rr --report json
+    python -m repro loadgen --clients 16 --arrivals poisson --report table
+    python -m repro loadgen --mode udp --clients 3 --server 127.0.0.1:47000
 
 The global ``--jobs N`` flag fans Monte Carlo work across ``N`` worker
 processes (``-1`` = one per CPU).  Seed sharding is deterministic, so
@@ -191,6 +196,75 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--out", metavar="PATH",
         help="also write the matrix report to PATH",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent transfer service on UDP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument(
+        "--protocol", choices=["blast", "sliding", "saw"], default="blast"
+    )
+    serve.add_argument(
+        "--policy", choices=["fifo", "rr", "copy-budget"], default="fifo"
+    )
+    serve.add_argument("--max-active", type=int, default=8)
+    serve.add_argument("--max-queue", type=int, default=64)
+    serve.add_argument("--window", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--once", type=int, metavar="N",
+        help="exit after N transfers have settled",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="exit after this long even if transfers remain",
+    )
+    serve.add_argument(
+        "--report", choices=["json", "table", "none"], default="table",
+        help="metrics report printed on exit (default: table)",
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="NAME",
+        help="inject a builtin fault plan at the server socket",
+    )
+    serve.add_argument("--fault-seed", type=int, default=None)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive N concurrent clients against the service"
+    )
+    loadgen.add_argument(
+        "--mode", choices=["des", "udp"], default="des",
+        help="simulated clients (des) or threaded loopback clients (udp)",
+    )
+    loadgen.add_argument(
+        "--server", metavar="HOST:PORT",
+        help="udp mode: pull from this already-running service "
+             "(default: spawn one in-process)",
+    )
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument(
+        "--sizes", choices=["fixed", "paper-table", "page-cluster", "file-mix"],
+        default="fixed", help="transfer-size workload (repro.workloads)",
+    )
+    loadgen.add_argument("--size", type=_parse_size, default=4096,
+                         help="per-transfer bytes for --sizes fixed")
+    loadgen.add_argument(
+        "--arrivals", choices=["simultaneous", "uniform", "poisson"],
+        default="simultaneous", help="des mode: arrival pattern",
+    )
+    loadgen.add_argument("--span", type=float, default=1.0,
+                         help="des mode: arrival window (seconds)")
+    loadgen.add_argument(
+        "--protocol", choices=["blast", "sliding", "saw"], default="blast"
+    )
+    loadgen.add_argument(
+        "--policy", choices=["fifo", "rr", "copy-budget"], default="fifo"
+    )
+    loadgen.add_argument("--workload-seed", type=int, default=0)
+    loadgen.add_argument(
+        "--report", choices=["json", "table", "none"], default="table"
     )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
@@ -390,6 +464,92 @@ def _cmd_faults(args) -> int:
     return 0 if matrix.all_passed else 1
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceConfig, UdpTransferService
+
+    fault_plan = None
+    if args.fault_plan:
+        from .faults.plans import builtin_plan
+
+        fault_plan = builtin_plan(args.fault_plan)
+    config = ServiceConfig(
+        protocol=args.protocol, policy=args.policy,
+        max_active=args.max_active, max_queue=args.max_queue,
+        window=args.window, seed=args.seed,
+    )
+    service = UdpTransferService(
+        config, bind=(args.host, args.port),
+        fault_plan=fault_plan, fault_seed=args.fault_seed,
+    )
+    host, port = service.address
+    print(f"serving on {host}:{port} "
+          f"({config.protocol}, policy={config.policy})", flush=True)
+    try:
+        completed = service.serve(expected_streams=args.once,
+                                  duration_s=args.duration)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        completed = False
+    finally:
+        service.sock.close()
+    if args.report == "json":
+        print(service.report_json(), end="")
+    elif args.report == "table":
+        print(service.report_table())
+    return 0 if (args.once is None or completed) else 1
+
+
+def _cmd_loadgen(args) -> int:
+    from .service import ServiceConfig
+
+    config = ServiceConfig(protocol=args.protocol, policy=args.policy)
+    if args.mode == "des":
+        from .service import run_des_loadgen
+
+        result = run_des_loadgen(
+            args.clients, config=config, sizes=args.sizes,
+            size_bytes=args.size, arrivals=args.arrivals, span_s=args.span,
+            workload_seed=args.workload_seed,
+        )
+        if args.report == "json":
+            print(result.report_json, end="")
+        elif args.report == "table":
+            summary = result.report["summary"]
+            print(f"{summary['ok']} ok, {summary['failed']} failed, "
+                  f"{summary['rejected']} rejected; "
+                  f"p50={summary['p50_completion_s'] * 1e3:.2f} ms "
+                  f"p99={summary['p99_completion_s'] * 1e3:.2f} ms")
+        return 0 if result.ok else 1
+
+    if args.server:
+        from .service.loadgen import drive_udp_clients, make_sizes
+
+        host, _, port = args.server.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+        sizes = make_sizes(args.sizes, args.clients, size_bytes=args.size,
+                           seed=args.workload_seed)
+        pulls = drive_udp_clients(address, sizes, protocol=args.protocol)
+        for stream_id in sorted(pulls):
+            pull = pulls[stream_id]
+            print(f"stream {stream_id}: {pull.status} "
+                  f"{pull.size_bytes} bytes payload_ok={pull.payload_ok}")
+        return 0 if pulls and all(p.ok for p in pulls.values()) else 1
+
+    from .service import run_udp_loadgen
+
+    result = run_udp_loadgen(
+        args.clients, config=config, sizes=args.sizes, size_bytes=args.size,
+        workload_seed=args.workload_seed,
+    )
+    if args.report == "json":
+        print(result.report_json, end="")
+    elif args.report == "table":
+        for stream_id in sorted(result.pulls):
+            pull = result.pulls[stream_id]
+            print(f"stream {stream_id}: {pull.status} "
+                  f"{pull.size_bytes} bytes payload_ok={pull.payload_ok}")
+    return 0 if result.all_ok else 1
+
+
 def _cmd_moveto(args) -> int:
     from .sim import Environment
     from .simnet import BernoulliErrors, NetworkParams, make_lan
@@ -436,6 +596,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "moveto": _cmd_moveto,
         "lint": _cmd_lint,
         "faults": _cmd_faults,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     return handler(args)
 

@@ -19,6 +19,12 @@ Three frame kinds carry the whole protocol family:
 simulator for transmission and copy times; for data frames it is the
 payload size (the paper's standalone experiments add no header beyond the
 Ethernet one), for replies it is the experiment's ack size (64 bytes).
+
+``stream_id`` multiplexes many concurrent transfers over one endpoint
+(the concurrent transfer service in :mod:`repro.service`).  The default
+``0`` means "the sole transfer on this endpoint" and encodes to the
+original version-1 wire format, so single-transfer tools interoperate
+byte-for-byte with pre-service peers.
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ class DataFrame:
     wants_reply: bool = False
     wire_bytes: int = field(default=-1)
     segment_crc: int | None = None
+    stream_id: int = 0
 
     def __post_init__(self) -> None:
         if self.total < 1:
@@ -74,6 +81,8 @@ class DataFrame:
             object.__setattr__(self, "wire_bytes", len(self.payload))
         if self.wire_bytes < 0:
             raise ValueError(f"wire_bytes must be >= 0, got {self.wire_bytes}")
+        if self.stream_id < 0:
+            raise ValueError(f"stream_id must be >= 0, got {self.stream_id}")
 
     @property
     def kind(self) -> FrameKind:
@@ -92,12 +101,15 @@ class AckFrame:
     transfer_id: int
     seq: int
     wire_bytes: int = 64
+    stream_id: int = 0
 
     def __post_init__(self) -> None:
         if self.seq < 0:
             raise ValueError(f"seq must be >= 0, got {self.seq}")
         if self.wire_bytes < 0:
             raise ValueError(f"wire_bytes must be >= 0, got {self.wire_bytes}")
+        if self.stream_id < 0:
+            raise ValueError(f"stream_id must be >= 0, got {self.stream_id}")
 
     @property
     def kind(self) -> FrameKind:
@@ -113,6 +125,7 @@ class NakFrame:
     missing: Tuple[int, ...]
     total: int
     wire_bytes: int = 64
+    stream_id: int = 0
 
     def __post_init__(self) -> None:
         if not self.missing:
@@ -125,6 +138,8 @@ class NakFrame:
             raise ValueError("missing seq out of range")
         if self.wire_bytes < 0:
             raise ValueError(f"wire_bytes must be >= 0, got {self.wire_bytes}")
+        if self.stream_id < 0:
+            raise ValueError(f"stream_id must be >= 0, got {self.stream_id}")
 
     @property
     def kind(self) -> FrameKind:
@@ -145,6 +160,7 @@ class ControlFrame:
     request_id: int
     body: bytes
     wire_bytes: int = field(default=-1)
+    stream_id: int = 0
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
@@ -153,6 +169,8 @@ class ControlFrame:
             object.__setattr__(self, "wire_bytes", len(self.body))
         if self.wire_bytes < 0:
             raise ValueError(f"wire_bytes must be >= 0, got {self.wire_bytes}")
+        if self.stream_id < 0:
+            raise ValueError(f"stream_id must be >= 0, got {self.stream_id}")
 
     @property
     def kind(self) -> FrameKind:

@@ -1,6 +1,6 @@
 """Byte-level frame encoding for the real-socket (UDP) transport.
 
-Layout (big-endian):
+Version-1 layout (big-endian) — the original single-transfer format:
 
     magic   2B  0x5A57 ("ZW" — Zwaenepoel '85)
     version 1B  1
@@ -12,6 +12,22 @@ Layout (big-endian):
     length  2B  payload length (DATA) / bitmap length (NAK)
     crc32   4B  CRC-32 of everything before this field plus the payload
     payload     DATA: packet bytes; NAK: missing-set bitmap
+
+Version-2 layout adds a 4-byte ``stream`` field between ``version+kind``
+and ``xfer_id``, multiplexing many concurrent transfers over a single
+endpoint (the :mod:`repro.service` concurrent transfer service):
+
+    magic   2B  0x5A57
+    version 1B  2
+    kind    1B  FrameKind
+    stream  4B  stream identifier (never 0 on the wire)
+    xfer_id 4B  transfer identifier
+    ...         remaining fields as in version 1
+
+:func:`encode` emits version 1 whenever ``frame.stream_id == 0`` — the
+bytes are identical to what the pre-service codec produced, so existing
+golden ledgers and old single-transfer peers are unaffected — and
+version 2 otherwise.  :func:`decode` and :func:`peek` accept both.
 
 The NAK bitmap has bit ``seq`` set when packet ``seq`` is missing —
 64 bytes of bitmap covers a 512-packet transfer, matching the paper's
@@ -26,14 +42,26 @@ from typing import Union
 
 from .frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
 
-__all__ = ["encode", "decode", "peek", "WireError", "HEADER_BYTES", "MAGIC"]
+__all__ = [
+    "encode",
+    "decode",
+    "peek",
+    "WireError",
+    "HEADER_BYTES",
+    "HEADER2_BYTES",
+    "MAGIC",
+]
 
 MAGIC = 0x5A57
 VERSION = 1
+VERSION_STREAM = 2
 _HEADER = struct.Struct(">HBBIIIBH")
+_HEADER2 = struct.Struct(">HBBIIIIBH")
 _CRC = struct.Struct(">I")
-#: Total header size including the CRC field.
+#: Total version-1 header size including the CRC field.
 HEADER_BYTES = _HEADER.size + _CRC.size
+#: Total version-2 (stream-id) header size including the CRC field.
+HEADER2_BYTES = _HEADER2.size + _CRC.size
 
 _FLAG_WANTS_REPLY = 0x01
 
@@ -59,8 +87,8 @@ def _missing_from_bitmap(bitmap: bytes, total: int) -> tuple:
     return tuple(missing)
 
 
-def encode(frame: Frame) -> bytes:
-    """Serialise a frame to datagram bytes."""
+def _frame_fields(frame: Frame):
+    """Common field extraction shared by both header versions."""
     if isinstance(frame, DataFrame):
         kind, seq, total, payload = FrameKind.DATA, frame.seq, frame.total, frame.payload
         flags = _FLAG_WANTS_REPLY if frame.wants_reply else 0
@@ -78,9 +106,27 @@ def encode(frame: Frame) -> bytes:
         raise TypeError(f"cannot encode {frame!r}")
     if len(payload) > 0xFFFF:
         raise WireError(f"payload too large for wire format: {len(payload)}")
-    header = _HEADER.pack(
-        MAGIC, VERSION, int(kind), frame.transfer_id, seq, total, flags, len(payload)
-    )
+    return kind, seq, total, payload, flags
+
+
+def encode(frame: Frame) -> bytes:
+    """Serialise a frame to datagram bytes.
+
+    Frames with ``stream_id == 0`` encode to the version-1 format,
+    byte-identical to the pre-stream codec; any other stream id selects
+    the version-2 header that carries it.
+    """
+    kind, seq, total, payload, flags = _frame_fields(frame)
+    if frame.stream_id == 0:
+        header = _HEADER.pack(
+            MAGIC, VERSION, int(kind), frame.transfer_id, seq, total, flags,
+            len(payload),
+        )
+    else:
+        header = _HEADER2.pack(
+            MAGIC, VERSION_STREAM, int(kind), frame.stream_id, frame.transfer_id,
+            seq, total, flags, len(payload),
+        )
     crc = zlib.crc32(header + payload) & 0xFFFFFFFF
     return header + _CRC.pack(crc) + payload
 
@@ -92,15 +138,21 @@ def peek(datagram: bytes):
     used by fault-injection socket wrappers to match rules against
     traffic they must not consume.  Returns ``(None, None)`` for
     anything that is not a plausible protocol frame, covering every
-    :class:`FrameKind`: DATA and ACK report their ``seq``, NAK its
-    first-missing, CONTROL its request id.
+    :class:`FrameKind` in either header version: DATA and ACK report
+    their ``seq``, NAK its first-missing, CONTROL its request id.
     """
     if len(datagram) < _HEADER.size:
         return None, None
-    magic, version, kind_raw, _xfer, seq, _total, _flags, _length = _HEADER.unpack(
-        datagram[: _HEADER.size]
-    )
-    if magic != MAGIC or version != VERSION:
+    magic, version, kind_raw = struct.unpack(">HBB", datagram[:4])
+    if magic != MAGIC:
+        return None, None
+    if version == VERSION:
+        (seq,) = struct.unpack(">I", datagram[8:12])
+    elif version == VERSION_STREAM:
+        if len(datagram) < _HEADER2.size:
+            return None, None
+        (seq,) = struct.unpack(">I", datagram[12:16])
+    else:
         return None, None
     try:
         kind = FrameKind(kind_raw)
@@ -114,18 +166,36 @@ def decode(datagram: bytes) -> Frame:
 
     Raises :class:`WireError` on truncation, bad magic/version/kind,
     CRC mismatch, or inconsistent fields — a real receiver must treat a
-    corrupted datagram exactly like a lost one.
+    corrupted datagram exactly like a lost one.  Both header versions
+    decode; version-1 frames come back with ``stream_id == 0``.
     """
     if len(datagram) < HEADER_BYTES:
         raise WireError(f"datagram too short: {len(datagram)} bytes")
-    header = datagram[: _HEADER.size]
-    magic, version, kind_raw, xfer, seq, total, flags, length = _HEADER.unpack(header)
+    magic, version = struct.unpack(">HB", datagram[:3])
     if magic != MAGIC:
         raise WireError(f"bad magic {magic:#06x}")
-    if version != VERSION:
+    if version == VERSION:
+        header_struct, header_bytes = _HEADER, HEADER_BYTES
+    elif version == VERSION_STREAM:
+        header_struct, header_bytes = _HEADER2, HEADER2_BYTES
+        if len(datagram) < header_bytes:
+            raise WireError(f"datagram too short: {len(datagram)} bytes")
+    else:
         raise WireError(f"unsupported version {version}")
-    (crc_stated,) = _CRC.unpack(datagram[_HEADER.size : HEADER_BYTES])
-    payload = datagram[HEADER_BYTES:]
+    header = datagram[: header_struct.size]
+    if version == VERSION:
+        _magic, _version, kind_raw, xfer, seq, total, flags, length = (
+            header_struct.unpack(header)
+        )
+        stream = 0
+    else:
+        _magic, _version, kind_raw, stream, xfer, seq, total, flags, length = (
+            header_struct.unpack(header)
+        )
+        if stream == 0:
+            raise WireError("version-2 frame with stream 0 (must encode as v1)")
+    (crc_stated,) = _CRC.unpack(datagram[header_struct.size : header_bytes])
+    payload = datagram[header_bytes:]
     if len(payload) != length:
         raise WireError(f"length field {length} != payload {len(payload)}")
     crc_actual = zlib.crc32(header + payload) & 0xFFFFFFFF
@@ -145,15 +215,20 @@ def decode(datagram: bytes) -> Frame:
                 payload=payload,
                 wants_reply=bool(flags & _FLAG_WANTS_REPLY),
                 wire_bytes=len(datagram),
+                stream_id=stream,
             )
         if kind is FrameKind.ACK:
-            return AckFrame(transfer_id=xfer, seq=seq, wire_bytes=len(datagram))
+            return AckFrame(
+                transfer_id=xfer, seq=seq, wire_bytes=len(datagram),
+                stream_id=stream,
+            )
         if kind is FrameKind.CONTROL:
             return ControlFrame(
                 transfer_id=xfer,
                 request_id=seq,
                 body=payload,
                 wire_bytes=len(datagram),
+                stream_id=stream,
             )
         missing = _missing_from_bitmap(payload, total)
         return NakFrame(
@@ -162,6 +237,7 @@ def decode(datagram: bytes) -> Frame:
             missing=missing,
             total=total,
             wire_bytes=len(datagram),
+            stream_id=stream,
         )
     except (ValueError, IndexError) as exc:
         raise WireError(f"inconsistent frame fields: {exc}") from exc

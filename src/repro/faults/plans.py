@@ -1,6 +1,6 @@
 """Builtin fault-plan library.
 
-Eight named, *bounded* plans covering the adversarial behaviours the
+Nine named, *bounded* plans covering the adversarial behaviours the
 paper's analysis assumes away: head-of-transfer loss, reply loss,
 duplication storms, bounded reordering, detectable corruption, latency
 spikes, and a seeded stochastic mix.  Every plan here has a finite
@@ -111,6 +111,17 @@ def _delay_spike() -> FaultPlan:
     )
 
 
+def _dup_reorder() -> FaultPlan:
+    """Duplication and reordering at once — the concurrent service's
+    acceptance plan (many interleaved streams make both faults routine,
+    so the service must shrug off their combination)."""
+    return FaultPlan(
+        name="dup+reorder",
+        rules=_dup_burst().rules + _reorder_window().rules,
+        description="dup-burst and reorder-window combined",
+    )
+
+
 def _random_mayhem() -> FaultPlan:
     return FaultPlan(
         name="random-mayhem",
@@ -143,6 +154,7 @@ BUILTIN_PLANS: Dict[str, FaultPlan] = {
         _reorder_window(),
         _corrupt_sprinkle(),
         _delay_spike(),
+        _dup_reorder(),
         _random_mayhem(),
     )
 }

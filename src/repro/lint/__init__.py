@@ -12,6 +12,7 @@ REP105    ``os.environ`` reads outside the configuration boundary
 REP106    float ``==``/``!=`` in analysis formulas
 REP107    mutable default arguments and bare ``except:``
 REP108    frame types declared but not handled by the protocol layer
+REP109    blocking calls inside service event-loop code
 ========  ==========================================================
 
 Usage::

@@ -1,4 +1,4 @@
-"""replint rule families REP101–REP107 (single-file AST rules).
+"""replint rule families REP101–REP107 and REP109 (single-file AST rules).
 
 Every rule is a pluggable class with an ``id``, ``severity``,
 ``fix_hint`` and a one-line ``title``; :func:`all_rules` returns one
@@ -549,8 +549,56 @@ class DefensiveDefaultsRule(Rule):
         )
 
 
+# ---------------------------------------------------------------------------
+# REP109 — blocking calls in service event-loop code
+# ---------------------------------------------------------------------------
+
+class BlockingServiceCallRule(Rule):
+    """The concurrent service multiplexes every transfer over one thread;
+    a single unbounded wait stalls *all* of them.  Inside ``service/``,
+    waits must flow through ``next_deadline()``-bounded receives — never
+    ``time.sleep`` and never a raw socket ``recv``/``recvfrom``/``accept``
+    (the endpoint's ``_recv_frame(timeout_s=...)`` is the sanctioned path).
+    """
+
+    id = "REP109"
+    severity = "error"
+    title = "blocking call in service event-loop code"
+    fix_hint = (
+        "bound every wait with core.next_deadline(): use "
+        "_recv_frame(timeout_s=...) instead of raw recv/recvfrom, and "
+        "never time.sleep in scheduler/event-loop paths"
+    )
+
+    _BLOCKING_METHODS = ("recv", "recvfrom", "recv_into", "accept")
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dir("service"):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved == "time.sleep":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "time.sleep() stalls every multiplexed transfer; bound "
+                    "the wait with the core's next_deadline() instead",
+                )
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._BLOCKING_METHODS):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() blocks the shared event loop; "
+                    "use _recv_frame(timeout_s=...) so the wait is bounded",
+                )
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP108 in order."""
+    """One instance of every replint rule, REP101..REP109 in order."""
     from .protocol import ProtocolExhaustivenessRule
 
     return [
@@ -562,6 +610,7 @@ def all_rules() -> List[Rule]:
         FloatEqualityRule(),
         DefensiveDefaultsRule(),
         ProtocolExhaustivenessRule(),
+        BlockingServiceCallRule(),
     ]
 
 

@@ -1,0 +1,78 @@
+"""Concurrent transfer service: many transfers, one endpoint.
+
+The paper's protocols move one large transfer between two hosts; this
+package turns them into a *service* — many simultaneous transfers
+multiplexed over a single UDP endpoint or, via the exact same scheduler
+core, over the simulated LAN.  See ``docs/service.md``.
+
+Layers:
+
+- :mod:`machines` — substrate-free per-transfer state machines;
+- :mod:`scheduler` — pluggable scheduling policies (fifo, rr,
+  copy-budget) and admission control primitives;
+- :mod:`engine` — :class:`ServiceCore`, the policy-driven multiplexer;
+- :mod:`metrics` — stable JSON / text reporting;
+- :mod:`simservice` / :mod:`udpservice` — the two substrate loops;
+- :mod:`loadgen` — deterministic load generation for both substrates.
+"""
+
+from .engine import ServiceConfig, ServiceCore
+from .machines import (
+    BlastSenderMachine,
+    ReceiverMachine,
+    TransferOutcome,
+    WindowSenderMachine,
+    make_sender_machine,
+    receiver_for,
+    service_payload,
+)
+from .metrics import ServiceMetrics, percentile
+from .scheduler import (
+    POLICY_REGISTRY,
+    CopyBudgetPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    get_policy,
+    policy_names,
+)
+from .loadgen import (
+    ScalingSweepResult,
+    UdpLoadgenResult,
+    run_des_loadgen,
+    run_scaling_sweep,
+    run_udp_loadgen,
+)
+from .simservice import DesServiceResult, run_des_service
+from .udpservice import UdpPullResult, UdpServiceClient, UdpTransferService
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceMetrics",
+    "percentile",
+    "BlastSenderMachine",
+    "WindowSenderMachine",
+    "ReceiverMachine",
+    "TransferOutcome",
+    "make_sender_machine",
+    "receiver_for",
+    "service_payload",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "CopyBudgetPolicy",
+    "POLICY_REGISTRY",
+    "get_policy",
+    "policy_names",
+    "DesServiceResult",
+    "run_des_service",
+    "UdpTransferService",
+    "UdpServiceClient",
+    "UdpPullResult",
+    "ScalingSweepResult",
+    "UdpLoadgenResult",
+    "run_des_loadgen",
+    "run_scaling_sweep",
+    "run_udp_loadgen",
+]

@@ -1,0 +1,302 @@
+"""The service core: admission, scheduling, demux — substrate-free.
+
+:class:`ServiceCore` is pure logic: it never reads a clock, opens a
+socket, or yields to a simulator.  The substrate loop (DES process in
+:mod:`repro.service.simservice`, UDP event loop in
+:mod:`repro.service.udpservice`) owns time and I/O and drives the core
+through three calls::
+
+    outputs = core.on_frame(frame, now, client=...)  # incoming frame
+    outputs = core.poll(now)                         # timers + grants
+    deadline = core.next_deadline(now)               # when to poll again
+
+Every output is a ``(frame, client_key)`` pair the substrate must
+transmit.  Client keys are opaque to the core (DES uses host names, UDP
+uses socket addresses).
+
+Control protocol (JSON bodies, one pull per stream id)::
+
+    request:   {"op": "pull", "stream": int, "size": int}
+    response:  {"packets": n, "seed": s, "size": n,
+                "status": "ok", "stream": id}
+           or  {"reason": str, "status": "rejected", "stream": id}
+           or  {"reason": str, "status": "error", "stream": id}
+
+Responses are cached per stream and replayed verbatim on duplicate
+pulls (the file service's at-least-once discipline); control responses
+bypass the packet scheduler — admission answers must not queue behind
+bulk data.  The transfer body is ``service_payload(seed, stream, size)``,
+so the client can verify byte-equality without the server shipping a
+checksum.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.frames import AckFrame, ControlFrame, NakFrame
+from .machines import TransferOutcome, make_sender_machine, service_payload
+from .metrics import ServiceMetrics
+from .scheduler import CopyBudgetPolicy, get_policy
+
+__all__ = ["ServiceConfig", "ServiceCore"]
+
+#: Protocols the service can multiplex.
+SERVICE_PROTOCOLS = ("blast", "sliding", "saw")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (echoed into every report)."""
+
+    protocol: str = "blast"
+    strategy: str = "selective"
+    window: int = 4
+    packet_bytes: int = 1024
+    timeout_s: float = 0.5
+    max_rounds: int = 60
+    policy: str = "fifo"
+    grants_per_poll: int = 8
+    max_active: int = 8
+    max_queue: int = 64
+    max_size_bytes: int = 16 * 1024 * 1024
+    seed: int = 7
+    quantum_s: float = 0.01
+    copy_s_per_packet: float = 0.00135
+
+    def __post_init__(self) -> None:
+        if self.protocol not in SERVICE_PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {list(SERVICE_PROTOCOLS)}"
+            )
+        for name in ("packet_bytes", "max_rounds", "grants_per_poll",
+                     "max_active", "window", "max_size_bytes"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "strategy": self.strategy,
+            "window": self.window,
+            "packet_bytes": self.packet_bytes,
+            "timeout_s": self.timeout_s,
+            "max_rounds": self.max_rounds,
+            "policy": self.policy,
+            "grants_per_poll": self.grants_per_poll,
+            "max_active": self.max_active,
+            "max_queue": self.max_queue,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class _Entry:
+    """One admitted transfer in the active table."""
+
+    machine: object
+    client: object
+
+
+@dataclass
+class _Pending:
+    """One queued (admitted-later) transfer."""
+
+    stream_id: int
+    client: object
+    size: int
+    submitted_s: float
+
+
+class ServiceCore:
+    """Multiplexes many transfers over one endpoint; substrate-free."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        if self.config.policy == "copy-budget":
+            self.policy = get_policy(
+                "copy-budget",
+                quantum_s=self.config.quantum_s,
+                copy_s_per_packet=self.config.copy_s_per_packet,
+            )
+        else:
+            self.policy = get_policy(self.config.policy)
+        self.metrics = ServiceMetrics()
+        self._active: Dict[int, _Entry] = {}
+        self._pending: Deque[_Pending] = deque()
+        self._responses: Dict[int, dict] = {}
+        self._request_ids: Dict[int, int] = {}
+        self.finished: Dict[int, TransferOutcome] = {}
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def finished_count(self) -> int:
+        return len(self.finished)
+
+    @property
+    def idle(self) -> bool:
+        """No admitted work left (finished + rejected only)."""
+        return not self._active and not self._pending
+
+    def report_json(self) -> str:
+        return self.metrics.to_json(self.config.to_dict())
+
+    def report_table(self) -> str:
+        return self.metrics.render_table(self.config.to_dict())
+
+    # -- frame input --------------------------------------------------------
+    def on_frame(self, frame, now: float,
+                 client: Optional[object] = None) -> List[Tuple[object, object]]:
+        """Feed one incoming frame; returns frames to transmit."""
+        if isinstance(frame, ControlFrame):
+            return self._on_control(frame, now, client)
+        if isinstance(frame, (AckFrame, NakFrame)):
+            entry = self._active.get(frame.stream_id)
+            if entry is None:
+                return []
+            entry.machine.on_frame(frame, now)
+            if entry.machine.finished:
+                self._finish(frame.stream_id, now)
+        return []
+
+    # -- timers + scheduling ------------------------------------------------
+    def poll(self, now: float) -> List[Tuple[object, object]]:
+        """Advance timers, admit queued work, grant this quantum's sends."""
+        for stream_id in list(self._active):
+            entry = self._active[stream_id]
+            entry.machine.poll(now)
+            if entry.machine.finished:
+                self._finish(stream_id, now)
+        self._admit(now)
+        outputs: List[Tuple[object, object]] = []
+        grants = self.policy.grants(self._active, now,
+                                    self.config.grants_per_poll)
+        for stream_id in grants:
+            entry = self._active.get(stream_id)
+            if entry is None or not entry.machine.has_frame(now):
+                continue
+            outputs.append((entry.machine.next_frame(now), entry.client))
+        return outputs
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Earliest time :meth:`poll` must run again (None = wait for I/O)."""
+        if self.idle:
+            return None
+        deadlines: List[float] = []
+        sendable = any(
+            entry.machine.has_frame(now) for entry in self._active.values()
+        )
+        if sendable:
+            if (isinstance(self.policy, CopyBudgetPolicy)
+                    and self.policy.budget_exhausted(now)):
+                deadlines.append(self.policy.next_window_start(now))
+            else:
+                deadlines.append(now)
+        for entry in self._active.values():
+            deadline = entry.machine.next_deadline()
+            if deadline is not None:
+                deadlines.append(deadline)
+        if not deadlines:
+            return None
+        return min(deadlines)
+
+    # -- internals ----------------------------------------------------------
+    def _on_control(self, frame: ControlFrame, now: float,
+                    client: Optional[object]) -> List[Tuple[object, object]]:
+        try:
+            body = json.loads(frame.body.decode())
+        except (ValueError, UnicodeDecodeError):
+            return []  # not ours; indistinguishable from corruption
+        if body.get("op") != "pull":
+            reply = {"status": "error", "reason": f"unknown op {body.get('op')!r}",
+                     "stream": 0}
+            return [(self._control_reply(frame.request_id, 0, reply), client)]
+        stream_id = body.get("stream")
+        size = body.get("size")
+        if not isinstance(stream_id, int) or stream_id < 1:
+            reply = {"status": "error", "reason": "bad stream id", "stream": 0}
+            return [(self._control_reply(frame.request_id, 0, reply), client)]
+        if stream_id in self._responses:
+            # Duplicate pull: replay the cached response verbatim.
+            return [(self._control_reply(self._request_ids[stream_id],
+                                         stream_id,
+                                         self._responses[stream_id]), client)]
+        if (not isinstance(size, int) or size < 0
+                or size > self.config.max_size_bytes):
+            reply = {"status": "error", "reason": "bad size", "stream": stream_id}
+        elif len(self._active) < self.config.max_active:
+            self.metrics.on_submitted(stream_id, str(client), now)
+            self._activate(stream_id, client, size, now)
+            reply = self._ok_reply(stream_id, size)
+        elif len(self._pending) < self.config.max_queue:
+            self.metrics.on_submitted(stream_id, str(client), now)
+            self._pending.append(_Pending(stream_id, client, size, now))
+            self.metrics.on_queue_depth(now, len(self._pending))
+            reply = self._ok_reply(stream_id, size)
+        else:
+            self.metrics.on_rejected(stream_id, str(client), "queue full", now)
+            reply = {"status": "rejected", "reason": "queue full",
+                     "stream": stream_id}
+        self._responses[stream_id] = reply
+        self._request_ids[stream_id] = frame.request_id
+        return [(self._control_reply(frame.request_id, stream_id, reply),
+                 client)]
+
+    def _ok_reply(self, stream_id: int, size: int) -> dict:
+        packets = max(1, -(-size // self.config.packet_bytes))
+        return {"status": "ok", "stream": stream_id, "size": size,
+                "packets": packets, "seed": self.config.seed}
+
+    def _control_reply(self, request_id: int, stream_id: int,
+                       body: dict) -> ControlFrame:
+        return ControlFrame(
+            transfer_id=stream_id,
+            request_id=request_id,
+            body=json.dumps(body, sort_keys=True).encode(),
+            stream_id=stream_id,
+        )
+
+    def _activate(self, stream_id: int, client, size: int, now: float) -> None:
+        payload = service_payload(self.config.seed, stream_id, size)
+        machine = make_sender_machine(
+            self.config.protocol, stream_id, payload,
+            packet_bytes=self.config.packet_bytes,
+            timeout_s=self.config.timeout_s,
+            max_rounds=self.config.max_rounds,
+            strategy=self.config.strategy,
+            window=self.config.window,
+        )
+        self._active[stream_id] = _Entry(machine=machine, client=client)
+        self.metrics.on_started(stream_id, now)
+
+    def _admit(self, now: float) -> None:
+        admitted = False
+        while self._pending and len(self._active) < self.config.max_active:
+            pending = self._pending.popleft()
+            self._activate(pending.stream_id, pending.client, pending.size, now)
+            admitted = True
+        if admitted:
+            self.metrics.on_queue_depth(now, len(self._pending))
+
+    def _finish(self, stream_id: int, now: float) -> None:
+        entry = self._active.pop(stream_id)
+        outcome = entry.machine.outcome()
+        self.finished[stream_id] = outcome
+        self.metrics.on_finished(stream_id, outcome, now)
+        self._admit(now)

@@ -1,0 +1,379 @@
+"""Substrate-free per-transfer state machines.
+
+The concurrent service cannot drive the blocking protocol engines (the
+DES engines are generator processes, the UDP ones own a socket loop), so
+it re-expresses each protocol as a *poll/step* machine: no clock reads,
+no I/O — the caller supplies ``now`` and carries frames.  The same
+machine instances therefore run unchanged under the discrete-event
+simulator and on a real UDP endpoint, which is what keeps service
+results deterministic and fault-plan-replayable.
+
+Three machines cover the protocol family:
+
+- :class:`BlastSenderMachine` — strategy-driven rounds reusing the
+  :mod:`repro.core.strategies` menu and its report semantics;
+- :class:`WindowSenderMachine` — per-packet-acknowledged window of
+  ``window`` outstanding packets (``window=1`` is stop-and-wait, larger
+  windows are the sliding-window protocol);
+- :class:`ReceiverMachine` — the client side: tracks arrivals with
+  :class:`~repro.core.tracker.ReceiverTracker` and produces the replies
+  the sender's protocol expects.
+
+Shared step API of the sender machines::
+
+    machine.poll(now)        # advance timers; may start a new round
+    machine.has_frame(now)   # is a data frame ready to transmit?
+    machine.next_frame(now)  # pop it (the scheduler grants sends)
+    machine.on_frame(f, now) # feed an ACK/NAK back in
+    machine.next_deadline()  # earliest time poll() must run again
+    machine.done / machine.failed / machine.outcome()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.frames import AckFrame, DataFrame, NakFrame
+from ..core.strategies import FailureDetection, get_strategy
+from ..core.tracker import ReceiverTracker, ReceptionReport
+from ..parallel.pool import mix_seed
+
+__all__ = [
+    "TransferOutcome",
+    "BlastSenderMachine",
+    "WindowSenderMachine",
+    "ReceiverMachine",
+    "make_sender_machine",
+    "receiver_for",
+    "service_payload",
+]
+
+
+def service_payload(seed: int, stream_id: int, size: int) -> bytes:
+    """The deterministic body of stream ``stream_id`` (server and client
+    derive it independently, so byte-equality is checkable end to end)."""
+    return random.Random(mix_seed(seed, stream_id)).randbytes(size)
+
+
+@dataclass
+class TransferOutcome:
+    """Counters and verdict for one completed (or failed) transfer."""
+
+    stream_id: int
+    ok: bool
+    size_bytes: int
+    packets: int
+    data_frames_sent: int = 0
+    retransmits: int = 0
+    rounds: int = 0
+    error: str = ""
+
+
+def _packetize(payload: bytes, packet_bytes: int) -> List[bytes]:
+    chunks = [
+        payload[i : i + packet_bytes] for i in range(0, len(payload), packet_bytes)
+    ]
+    return chunks or [b""]
+
+
+class _SenderBase:
+    """State shared by the sender machines."""
+
+    def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
+                 timeout_s: float, max_rounds: int):
+        if stream_id < 1:
+            raise ValueError(f"stream_id must be >= 1, got {stream_id}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.stream_id = stream_id
+        self.payload = payload
+        self.packet_bytes = packet_bytes
+        self.timeout_s = timeout_s
+        self.max_rounds = max_rounds
+        self.chunks = _packetize(payload, packet_bytes)
+        self.total = len(self.chunks)
+        self.done = False
+        self.failed = False
+        self.error = ""
+        self.data_frames_sent = 0
+        self.retransmits = 0
+        self.rounds = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.failed
+
+    def outcome(self) -> TransferOutcome:
+        return TransferOutcome(
+            stream_id=self.stream_id,
+            ok=self.done and not self.failed,
+            size_bytes=len(self.payload),
+            packets=self.total,
+            data_frames_sent=self.data_frames_sent,
+            retransmits=self.retransmits,
+            rounds=self.rounds,
+            error=self.error,
+        )
+
+    def _fail(self, message: str) -> None:
+        self.failed = True
+        self.error = message
+
+    def _data(self, seq: int, wants_reply: bool) -> DataFrame:
+        self.data_frames_sent += 1
+        return DataFrame(
+            transfer_id=self.stream_id,
+            seq=seq,
+            total=self.total,
+            payload=self.chunks[seq],
+            wants_reply=wants_reply,
+            stream_id=self.stream_id,
+        )
+
+
+class BlastSenderMachine(_SenderBase):
+    """One blast transfer as a poll/step machine.
+
+    Each round transmits the strategy's working set back to back (the
+    blast discipline: no per-packet pacing), marks the round's last
+    frame ``wants_reply``, then waits up to ``timeout_s`` for the
+    receiver's verdict.  An ACK for the whole sequence completes the
+    transfer; a NAK report shapes the next working set; a timeout falls
+    back to the strategy's no-report behaviour (full retransmission).
+    """
+
+    def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
+                 timeout_s: float, max_rounds: int = 60,
+                 strategy: str = "selective"):
+        super().__init__(stream_id, payload, packet_bytes, timeout_s, max_rounds)
+        self.strategy = get_strategy(strategy)
+        self._queue: List[int] = list(range(self.total))
+        self._index = 0
+        self._reply_deadline: Optional[float] = None
+        self.rounds = 1
+
+    # -- step API ----------------------------------------------------------
+    def poll(self, now: float) -> None:
+        if self.finished:
+            return
+        if self._reply_deadline is not None and now >= self._reply_deadline:
+            self._start_round(None, "timeout")
+
+    def has_frame(self, now: float) -> bool:
+        return self.frames_available(now) > 0
+
+    def frames_available(self, now: float) -> int:
+        """Frames this machine could emit right now without new input."""
+        if self.finished:
+            return 0
+        return len(self._queue) - self._index
+
+    def next_frame(self, now: float) -> DataFrame:
+        seq = self._queue[self._index]
+        self._index += 1
+        if self.rounds > 1:
+            self.retransmits += 1
+        last_of_round = self._index == len(self._queue)
+        if last_of_round:
+            self._reply_deadline = now + self.timeout_s
+        return self._data(seq, wants_reply=last_of_round)
+
+    def on_frame(self, frame, now: float) -> None:
+        if self.finished:
+            return
+        if isinstance(frame, AckFrame) and frame.seq == self.total - 1:
+            self.done = True
+            self._reply_deadline = None
+        elif isinstance(frame, NakFrame):
+            report = ReceptionReport(
+                total=frame.total,
+                complete=False,
+                first_missing=frame.first_missing,
+                missing=frame.missing,
+            )
+            self._start_round(report, "nak")
+
+    def next_deadline(self) -> Optional[float]:
+        if self.finished or self._index < len(self._queue):
+            return None
+        return self._reply_deadline
+
+    # -- internals ---------------------------------------------------------
+    def _start_round(self, report: Optional[ReceptionReport], why: str) -> None:
+        if self.rounds >= self.max_rounds:
+            self._fail(f"gave up after {self.rounds} rounds (last: {why})")
+            return
+        self.rounds += 1
+        self._queue = self.strategy.next_working_set(self.total, report)
+        self._index = 0
+        self._reply_deadline = None
+
+
+class WindowSenderMachine(_SenderBase):
+    """Per-packet-acknowledged window sender (``window=1`` = stop-and-wait).
+
+    Up to ``window`` packets are outstanding at once, every one marked
+    ``wants_reply``; an un-acknowledged packet is retransmitted when its
+    timer expires, with a per-packet attempt cap standing in for the
+    blast machine's round cap.
+    """
+
+    def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
+                 timeout_s: float, max_rounds: int = 60, window: int = 4):
+        super().__init__(stream_id, payload, packet_bytes, timeout_s, max_rounds)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._next_unsent = 0
+        self._outstanding: Dict[int, float] = {}  # seq -> retransmit deadline
+        self._attempts: Dict[int, int] = {}
+        self._acked = 0
+        self.rounds = 1
+
+    # -- step API ----------------------------------------------------------
+    def poll(self, now: float) -> None:
+        if self.finished:
+            return
+        for seq, deadline in self._outstanding.items():
+            if now >= deadline and self._attempts.get(seq, 0) >= self.max_rounds:
+                self._fail(f"packet {seq} unacknowledged after "
+                           f"{self.max_rounds} attempts")
+                return
+
+    def has_frame(self, now: float) -> bool:
+        return self.frames_available(now) > 0
+
+    def frames_available(self, now: float) -> int:
+        """Frames this machine could emit right now without new input."""
+        if self.finished:
+            return 0
+        overdue = sum(1 for deadline in self._outstanding.values()
+                      if now >= deadline)
+        fresh_room = min(self.window - len(self._outstanding),
+                         self.total - self._next_unsent)
+        return overdue + max(0, fresh_room)
+
+    def next_frame(self, now: float) -> DataFrame:
+        # Overdue retransmissions first, lowest sequence number first —
+        # deterministic because _outstanding is insertion-ordered and
+        # sequence numbers only grow.
+        for seq, deadline in self._outstanding.items():
+            if now >= deadline:
+                self.retransmits += 1
+                self.rounds += 1
+                self._attempts[seq] = self._attempts.get(seq, 0) + 1
+                self._outstanding[seq] = now + self.timeout_s
+                return self._data(seq, wants_reply=True)
+        seq = self._next_unsent
+        self._next_unsent += 1
+        self._attempts[seq] = 1
+        self._outstanding[seq] = now + self.timeout_s
+        return self._data(seq, wants_reply=True)
+
+    def on_frame(self, frame, now: float) -> None:
+        if self.finished or not isinstance(frame, AckFrame):
+            return
+        if frame.seq in self._outstanding:
+            del self._outstanding[frame.seq]
+            self._acked += 1
+            if self._acked == self.total:
+                self.done = True
+
+    def next_deadline(self) -> Optional[float]:
+        if self.finished or not self._outstanding:
+            return None
+        return min(self._outstanding.values())
+
+
+def make_sender_machine(protocol: str, stream_id: int, payload: bytes,
+                        packet_bytes: int, timeout_s: float,
+                        max_rounds: int = 60, strategy: str = "selective",
+                        window: int = 4):
+    """Factory keyed by the service's protocol names."""
+    if protocol == "blast":
+        return BlastSenderMachine(stream_id, payload, packet_bytes,
+                                  timeout_s, max_rounds, strategy=strategy)
+    if protocol == "sliding":
+        return WindowSenderMachine(stream_id, payload, packet_bytes,
+                                   timeout_s, max_rounds, window=window)
+    if protocol == "saw":
+        return WindowSenderMachine(stream_id, payload, packet_bytes,
+                                   timeout_s, max_rounds, window=1)
+    raise ValueError(
+        f"unknown service protocol {protocol!r}; "
+        "choose from ['blast', 'sliding', 'saw']"
+    )
+
+
+class ReceiverMachine:
+    """Client-side reception for one stream: track, reply, reassemble.
+
+    ``per_packet_ack=True`` acknowledges every data frame (window/saw
+    senders); otherwise replies go out only for ``wants_reply`` frames —
+    ACK when complete, NAK with the reception report when the sender's
+    strategy listens for one, silence for the timer-only strategy.
+    """
+
+    def __init__(self, stream_id: int, per_packet_ack: bool, nak: bool):
+        self.stream_id = stream_id
+        self.per_packet_ack = per_packet_ack
+        self.nak = nak
+        self.tracker: Optional[ReceiverTracker] = None
+        self._chunks: Dict[int, bytes] = {}
+        self.duplicates = 0
+        self.replies_sent = 0
+
+    @property
+    def done(self) -> bool:
+        return self.tracker is not None and self.tracker.is_complete
+
+    @property
+    def data(self) -> bytes:
+        if not self.done:
+            raise RuntimeError("transfer incomplete; data unavailable")
+        assert self.tracker is not None
+        return b"".join(self._chunks[seq] for seq in range(self.tracker.total))
+
+    def on_frame(self, frame, now: float) -> List[object]:
+        """Feed an incoming frame; returns the reply frames to transmit."""
+        if not isinstance(frame, DataFrame) or frame.stream_id != self.stream_id:
+            return []
+        if self.tracker is None:
+            self.tracker = ReceiverTracker(frame.total)
+        if self.tracker.add(frame.seq):
+            self._chunks[frame.seq] = frame.payload
+        else:
+            self.duplicates += 1
+        replies: List[object] = []
+        if self.per_packet_ack:
+            replies.append(AckFrame(transfer_id=self.stream_id, seq=frame.seq,
+                                    stream_id=self.stream_id))
+        elif frame.wants_reply:
+            if self.tracker.is_complete:
+                replies.append(AckFrame(transfer_id=self.stream_id,
+                                        seq=self.tracker.total - 1,
+                                        stream_id=self.stream_id))
+            elif self.nak:
+                report = self.tracker.report()
+                replies.append(NakFrame(
+                    transfer_id=self.stream_id,
+                    first_missing=report.first_missing,
+                    missing=report.missing,
+                    total=report.total,
+                    stream_id=self.stream_id,
+                ))
+        self.replies_sent += len(replies)
+        return replies
+
+
+def receiver_for(protocol: str, stream_id: int,
+                 strategy: str = "selective") -> ReceiverMachine:
+    """The receiver that matches a sender machine's reply expectations."""
+    if protocol == "blast":
+        uses_nak = get_strategy(strategy).mode is not FailureDetection.TIMER_ONLY
+        return ReceiverMachine(stream_id, per_packet_ack=False, nak=uses_nak)
+    if protocol in ("sliding", "saw"):
+        return ReceiverMachine(stream_id, per_packet_ack=True, nak=False)
+    raise ValueError(f"unknown service protocol {protocol!r}")

@@ -1,0 +1,184 @@
+"""Pluggable scheduling policies for the concurrent transfer service.
+
+A policy decides which active transfers may put a frame on the wire in
+the current scheduling quantum.  The engine hands it the active table
+(insertion-ordered: admission order is the only ordering the service
+ever relies on — never hash order) and a grant budget; the policy
+returns stream ids in transmission order, at most ``budget`` of them,
+consulting ``has_frame(now)`` so it never grants a send the machine
+cannot honour.
+
+Three policies, mirroring the design space the paper's copy-cost model
+opens up:
+
+- :class:`FifoPolicy` — head-of-line service in admission order; one
+  big transfer monopolises the interface exactly as the single-transfer
+  blast protocol would.
+- :class:`RoundRobinPolicy` — one frame per *client* per rotation, so
+  interactive clients interleave with bulk ones; rotation state persists
+  across quanta for long-run fairness.
+- :class:`CopyBudgetPolicy` — round-robin, additionally capped by the
+  number of packet copies the server's processor can perform per
+  quantum (the paper's per-packet copy cost C is the service bottleneck
+  once the wire stops being one); modelled as
+  ``floor(quantum_s / copy_s_per_packet)`` grants per quantum window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "CopyBudgetPolicy",
+    "POLICY_REGISTRY",
+    "get_policy",
+    "policy_names",
+]
+
+
+class SchedulingPolicy:
+    """Base class; concrete policies override :meth:`grants`."""
+
+    name = ""
+
+    def grants(self, active: Dict[int, "object"], now: float,
+               budget: int) -> List[int]:
+        """Stream ids to grant one frame each, in transmission order.
+
+        ``active`` maps stream id to an entry exposing ``client`` and a
+        ``machine`` with ``has_frame(now)``; iteration order is
+        admission order.  A stream id may appear several times when the
+        policy lets one transfer send a run of frames.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Admission order, head transfer drains first."""
+
+    name = "fifo"
+
+    def grants(self, active, now, budget):
+        order: List[int] = []
+        for stream_id, entry in active.items():
+            take = min(entry.machine.frames_available(now),
+                       budget - len(order))
+            order.extend([stream_id] * take)
+            if len(order) >= budget:
+                break
+        return order
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """One frame per client per rotation; rotation survives across quanta."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def grants(self, active, now, budget):
+        order: List[int] = []
+        if not active:
+            return order
+        # Group streams by client, insertion-ordered.
+        clients: Dict[str, List[int]] = {}
+        for stream_id, entry in active.items():
+            clients.setdefault(entry.client, []).append(stream_id)
+        names = list(clients)
+        self._cursor %= len(names)
+        granted: Dict[int, int] = {}
+
+        def available(stream_id: int) -> int:
+            entry = active[stream_id]
+            return entry.machine.frames_available(now) - granted.get(stream_id, 0)
+
+        idle_rotations = 0
+        index = self._cursor
+        while len(order) < budget and idle_rotations < len(names):
+            name = names[index % len(names)]
+            index += 1
+            picked = False
+            for stream_id in clients[name]:
+                if available(stream_id) > 0:
+                    order.append(stream_id)
+                    granted[stream_id] = granted.get(stream_id, 0) + 1
+                    picked = True
+                    break
+            idle_rotations = 0 if picked else idle_rotations + 1
+        self._cursor = index % len(names)
+        return order
+
+
+class CopyBudgetPolicy(RoundRobinPolicy):
+    """Round-robin capped by per-quantum processor copy capacity.
+
+    ``copy_s_per_packet`` is the paper's C (processor copy time of one
+    data packet); at most ``floor(quantum_s / C)`` frames leave the
+    service per quantum window, whatever the caller's budget.  Quantum
+    windows are aligned to multiples of ``quantum_s`` so the cap is a
+    pure function of ``now`` — deterministic under the simulated clock.
+    """
+
+    name = "copy-budget"
+
+    def __init__(self, quantum_s: float = 0.01,
+                 copy_s_per_packet: float = 0.00135) -> None:
+        super().__init__()
+        if quantum_s <= 0 or copy_s_per_packet <= 0:
+            raise ValueError("quantum_s and copy_s_per_packet must be > 0")
+        self.quantum_s = quantum_s
+        self.copy_s_per_packet = copy_s_per_packet
+        self.per_quantum = max(1, int(quantum_s / copy_s_per_packet))
+        self._window_index = -1
+        self._used = 0
+
+    def grants(self, active, now, budget):
+        window = int(now / self.quantum_s)
+        if window != self._window_index:
+            self._window_index = window
+            self._used = 0
+        remaining = self.per_quantum - self._used
+        if remaining <= 0:
+            return []
+        order = super().grants(active, now, min(budget, remaining))
+        self._used += len(order)
+        return order
+
+    def next_window_start(self, now: float) -> float:
+        """When the copy budget replenishes (engine deadline hint)."""
+        return (int(now / self.quantum_s) + 1) * self.quantum_s
+
+    def budget_exhausted(self, now: float) -> bool:
+        """True when no grants remain in the current quantum window."""
+        window = int(now / self.quantum_s)
+        return window == self._window_index and self._used >= self.per_quantum
+
+
+POLICY_REGISTRY: Dict[str, Callable[[], SchedulingPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    CopyBudgetPolicy.name: CopyBudgetPolicy,
+}
+
+
+def policy_names() -> List[str]:
+    """Registry names in their canonical (report) order."""
+    return list(POLICY_REGISTRY)
+
+
+def get_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by registry name."""
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {policy_names()}"
+        ) from None
+    return factory(**kwargs)

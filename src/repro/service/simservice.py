@@ -1,0 +1,233 @@
+"""The concurrent service on the discrete-event simulator.
+
+One server :class:`~repro.simnet.host.Host` multiplexes every transfer
+over its single interface; N client hosts share the same medium (so the
+wire and the server's processor are both contended, the regime the
+paper's copy-cost model predicts dominates).  The server process is a
+thin, non-blocking carrier for :class:`~repro.service.engine.ServiceCore`
+— identical scheduler logic to the UDP substrate — which is what makes
+service results deterministic and byte-reproducible.
+
+Clients follow the control protocol: one ``pull`` per stream (retried,
+deduplicated server-side), then a receiver machine that replies per the
+protocol's discipline and reassembles the body.  The run result carries
+the reassembled payloads *and* the server's metrics report, so callers
+can assert byte-equality end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.frames import ControlFrame
+from ..sim import Environment
+from ..simnet.errors import ErrorModel
+from ..simnet.host import Host, make_network
+from ..simnet.params import NetworkParams
+from .engine import ServiceConfig, ServiceCore
+from .machines import receiver_for, service_payload
+
+__all__ = ["DesServiceResult", "run_des_service"]
+
+#: Client-side control/receive tuning (sim seconds).
+PULL_TIMEOUT_S = 0.25
+PULL_RETRIES = 40
+RECV_TIMEOUT_S = 0.5
+RECV_IDLE_LIMIT = 40
+LINGER_S = 0.25
+_MIN_TICK_S = 1e-9
+
+
+@dataclass
+class DesServiceResult:
+    """Everything one DES service run produced."""
+
+    config: ServiceConfig
+    report: dict
+    report_json: str
+    payloads_ok: bool
+    completed: int
+    rejected: int
+    client_status: Dict[int, str]
+
+    @property
+    def ok(self) -> bool:
+        return self.payloads_ok and all(
+            status in ("ok", "rejected") for status in self.client_status.values()
+        )
+
+
+def _client_key(frame) -> Optional[str]:
+    """Extract the pull's client name (DES frames carry no source)."""
+    if not isinstance(frame, ControlFrame):
+        return None
+    try:
+        body = json.loads(frame.body.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    name = body.get("client")
+    return name if isinstance(name, str) else None
+
+
+def _server_process(env: Environment, host: Host, peers: Dict[str, Host],
+                    core: ServiceCore, expected_streams: int):
+    def handle(frame):
+        for out, client in core.on_frame(frame, env.now,
+                                         client=_client_key(frame)):
+            peer = peers.get(client)
+            if peer is not None:
+                yield from host.send(out, dst=peer)
+
+    while True:
+        # Drain everything already delivered before granting new sends —
+        # otherwise a backlog of grants starves ACK/pull processing and
+        # the sender machines time out against their own unread replies.
+        while host.interface.rx_store.items:
+            frame = yield from host.receive(timeout_s=0.0)
+            if frame is None:
+                break
+            yield from handle(frame)
+        outputs = core.poll(env.now)
+        for frame, client in outputs:
+            peer = peers.get(client)
+            if peer is not None:
+                yield from host.send(frame, dst=peer)
+        settled = core.finished_count + len(core.metrics.rejections)
+        if settled >= expected_streams and core.idle:
+            return
+        if outputs:
+            continue  # sending advanced the clock; run timers again
+        deadline = core.next_deadline(env.now)
+        if deadline is None:
+            timeout = None  # pure I/O wait: nothing to do until a frame
+        else:
+            timeout = max(deadline - env.now, _MIN_TICK_S)
+        frame = yield from host.receive(timeout_s=timeout)
+        if frame is None:
+            continue
+        yield from handle(frame)
+
+
+def _client_process(env: Environment, host: Host, server: Host,
+                    protocol: str, strategy: str, stream_id: int, size: int,
+                    arrival_s: float, status: Dict[int, str],
+                    payloads: Dict[int, bytes]):
+    if arrival_s > 0:
+        yield env.timeout(arrival_s)
+    body = {"client": host.name, "op": "pull", "size": size,
+            "stream": stream_id}
+    pull = ControlFrame(
+        transfer_id=0,
+        request_id=stream_id,
+        body=json.dumps(body, sort_keys=True).encode(),
+    )
+
+    def is_reply(frame) -> bool:
+        return (isinstance(frame, ControlFrame)
+                and frame.request_id == stream_id
+                and frame.stream_id == stream_id)
+
+    response = None
+    for _ in range(PULL_RETRIES):
+        yield from host.send(pull, dst=server)
+        reply = yield from host.receive(timeout_s=PULL_TIMEOUT_S,
+                                        predicate=is_reply)
+        if reply is not None:
+            response = json.loads(reply.body.decode())
+            break
+    if response is None:
+        status[stream_id] = "no-response"
+        return
+    if response.get("status") != "ok":
+        status[stream_id] = response.get("status", "error")
+        return
+
+    receiver = receiver_for(protocol, stream_id, strategy)
+
+    def is_mine(frame) -> bool:
+        return getattr(frame, "stream_id", 0) == stream_id
+
+    idle = 0
+    while not receiver.done:
+        frame = yield from host.receive(timeout_s=RECV_TIMEOUT_S,
+                                        predicate=is_mine)
+        if frame is None:
+            idle += 1
+            if idle >= RECV_IDLE_LIMIT:
+                status[stream_id] = "stalled"
+                return
+            continue
+        idle = 0
+        for reply_frame in receiver.on_frame(frame, env.now):
+            yield from host.send(reply_frame, dst=server)
+    payloads[stream_id] = receiver.data
+    status[stream_id] = "ok"
+    # Linger: the final ACK may be lost; keep answering wants_reply
+    # duplicates so the sender machine can terminate.
+    while True:
+        frame = yield from host.receive(timeout_s=LINGER_S, predicate=is_mine)
+        if frame is None:
+            return
+        for reply_frame in receiver.on_frame(frame, env.now):
+            yield from host.send(reply_frame, dst=server)
+
+
+def run_des_service(
+    sizes: Sequence[int],
+    arrivals: Optional[Sequence[float]] = None,
+    config: Optional[ServiceConfig] = None,
+    params: Optional[NetworkParams] = None,
+    error_model: Optional[ErrorModel] = None,
+) -> DesServiceResult:
+    """Run one deterministic DES service experiment.
+
+    ``sizes[i]`` is the body of stream ``i + 1``, pulled by client ``i``
+    at ``arrivals[i]`` (default: everyone at t=0 — maximum contention).
+    Returns the metrics report plus an end-to-end payload verdict.
+    """
+    config = config or ServiceConfig()
+    n = len(sizes)
+    if n < 1:
+        raise ValueError("need at least one transfer")
+    if arrivals is None:
+        arrivals = [0.0] * n
+    if len(arrivals) != n:
+        raise ValueError("arrivals and sizes must have equal length")
+
+    env = Environment()
+    names = ["server"] + [f"client{i:03d}" for i in range(n)]
+    hosts, _medium = make_network(env, names, params=params,
+                                  error_model=error_model)
+    server, clients = hosts[0], hosts[1:]
+    peers = {host.name: host for host in clients}
+
+    core = ServiceCore(config)
+    status: Dict[int, str] = {}
+    payloads: Dict[int, bytes] = {}
+
+    env.process(_server_process(env, server, peers, core, expected_streams=n))
+    for index, client in enumerate(clients):
+        stream_id = index + 1
+        env.process(_client_process(
+            env, client, server, config.protocol, config.strategy,
+            stream_id, sizes[index], arrivals[index], status, payloads,
+        ))
+    env.run()
+
+    payloads_ok = all(
+        payloads.get(stream_id)
+        == service_payload(config.seed, stream_id, sizes[stream_id - 1])
+        for stream_id in range(1, n + 1)
+        if status.get(stream_id) == "ok"
+    ) and any(status.get(s) == "ok" for s in range(1, n + 1))
+    return DesServiceResult(
+        config=config,
+        report=core.metrics.to_dict(config.to_dict()),
+        report_json=core.report_json(),
+        payloads_ok=payloads_ok,
+        completed=core.finished_count,
+        rejected=len(core.metrics.rejections),
+        client_status={s: status.get(s, "missing") for s in range(1, n + 1)},
+    )

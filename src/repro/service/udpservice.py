@@ -1,0 +1,253 @@
+"""The concurrent service on real UDP sockets.
+
+:class:`UdpTransferService` is the socket-side twin of the DES runner:
+one datagram socket, a single-threaded event loop, and the *same*
+:class:`~repro.service.engine.ServiceCore` making every admission and
+scheduling decision.  Client identity is the datagram source address;
+the loop's clock is seconds since serve() started, so the metrics
+report has the same shape on both substrates (absolute values differ —
+wall time is not simulated time).
+
+The loop never blocks without a bound: every receive carries a timeout
+derived from the core's ``next_deadline`` (clamped to ``MAX_WAIT_S`` so
+stop requests and duration limits stay responsive).
+
+:class:`UdpServiceClient` pulls one stream and verifies it end to end
+against :func:`~repro.service.machines.service_payload` — the client
+recomputes the expected body from the (seed, stream) pair the ok
+response echoes, so payload integrity needs no checksum exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.frames import ControlFrame
+from ..core.wire import encode
+from ..faults.plan import FaultPlan
+from ..simnet.errors import ErrorModel
+from ..udpnet.endpoints import UdpEndpoint
+from .engine import ServiceConfig, ServiceCore
+from .machines import receiver_for, service_payload
+
+__all__ = ["UdpTransferService", "UdpServiceClient", "UdpPullResult"]
+
+#: Loop never sleeps longer than this (keeps stop()/duration responsive).
+MAX_WAIT_S = 0.05
+#: Floor for socket timeouts (0 would busy-spin).
+MIN_WAIT_S = 0.0005
+#: Datagrams drained per wakeup before granting again.
+DRAIN_BATCH = 64
+
+
+class UdpTransferService(UdpEndpoint):
+    """Single-threaded multi-transfer server on one UDP socket."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        error_model: Optional[ErrorModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_seed: Optional[int] = None,
+    ):
+        self.config = config or ServiceConfig()
+        super().__init__(
+            bind=bind,
+            error_model=error_model,
+            packet_bytes=self.config.packet_bytes,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+        )
+        self.core = ServiceCore(self.config)
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask :meth:`serve` to return after its current wait."""
+        self._stop.set()
+
+    def serve(
+        self,
+        expected_streams: Optional[int] = None,
+        duration_s: Optional[float] = None,
+    ) -> bool:
+        """Run the event loop.
+
+        Returns True once ``expected_streams`` transfers have settled
+        (completed, failed, or been rejected) with nothing left in
+        flight; returns False on ``duration_s`` expiry or :meth:`stop`.
+        """
+        start = time.monotonic()
+        while not self._stop.is_set():
+            now = time.monotonic() - start
+            for frame, addr in self.core.poll(now):
+                self.sock.sendto(encode(frame), addr)
+            settled = (self.core.finished_count
+                       + len(self.core.metrics.rejections))
+            if (expected_streams is not None and settled >= expected_streams
+                    and self.core.idle):
+                return True
+            if duration_s is not None and now >= duration_s:
+                return False
+            deadline = self.core.next_deadline(now)
+            if deadline is None:
+                wait = MAX_WAIT_S
+            else:
+                wait = min(max(deadline - now, MIN_WAIT_S), MAX_WAIT_S)
+            drained = 0
+            got = self._recv_frame(timeout_s=wait)
+            while got is not None:
+                frame, addr = got
+                for out, dst in self.core.on_frame(
+                        frame, time.monotonic() - start, client=addr):
+                    self.sock.sendto(encode(out), dst)
+                drained += 1
+                if drained >= DRAIN_BATCH:
+                    break
+                got = self._recv_frame(timeout_s=0.0)
+        return False
+
+    def report_json(self) -> str:
+        return self.core.report_json()
+
+    def report_table(self) -> str:
+        return self.core.report_table()
+
+
+@dataclass
+class UdpPullResult:
+    """One client-side pull, verified end to end."""
+
+    stream_id: int
+    status: str
+    size_bytes: int = 0
+    payload_ok: bool = False
+    duplicates: int = 0
+    elapsed_s: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok" and self.payload_ok
+
+
+class UdpServiceClient(UdpEndpoint):
+    """Pulls streams from a :class:`UdpTransferService`."""
+
+    def __init__(
+        self,
+        server: Tuple[str, int],
+        protocol: str = "blast",
+        strategy: str = "selective",
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        error_model: Optional[ErrorModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_seed: Optional[int] = None,
+        pull_timeout_s: float = 0.25,
+        pull_retries: int = 40,
+        recv_timeout_s: float = 2.0,
+        linger_s: float = 0.3,
+    ):
+        super().__init__(bind=bind, error_model=error_model,
+                         fault_plan=fault_plan, fault_seed=fault_seed)
+        self.server = server
+        self.protocol = protocol
+        self.strategy = strategy
+        self.pull_timeout_s = pull_timeout_s
+        self.pull_retries = pull_retries
+        self.recv_timeout_s = recv_timeout_s
+        self.linger_s = linger_s
+
+    def pull(self, stream_id: int, size: int) -> UdpPullResult:
+        """Request stream ``stream_id`` of ``size`` bytes and receive it."""
+        started = time.monotonic()
+        body = json.dumps({"op": "pull", "size": size, "stream": stream_id},
+                          sort_keys=True).encode()
+        request = encode(ControlFrame(transfer_id=0, request_id=stream_id,
+                                      body=body))
+        response = None
+        for _ in range(self.pull_retries):
+            self.sock.sendto(request, self.server)
+            response = self._await_reply(stream_id, self.pull_timeout_s)
+            if response is not None:
+                break
+        if response is None:
+            return UdpPullResult(stream_id, "no-response",
+                                 elapsed_s=time.monotonic() - started,
+                                 error="control response never arrived")
+        if response.get("status") != "ok":
+            return UdpPullResult(stream_id, response.get("status", "error"),
+                                 elapsed_s=time.monotonic() - started,
+                                 error=response.get("reason", ""))
+
+        receiver = receiver_for(self.protocol, stream_id, self.strategy)
+        deadline = time.monotonic() + self.recv_timeout_s
+        while not receiver.done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return UdpPullResult(
+                    stream_id, "stalled",
+                    elapsed_s=time.monotonic() - started,
+                    error="transfer stalled before completion",
+                )
+            got = self._recv_frame(timeout_s=remaining)
+            if got is None:
+                continue
+            frame, _sender = got
+            if getattr(frame, "stream_id", 0) != stream_id:
+                continue
+            replies = receiver.on_frame(frame, time.monotonic() - started)
+            if replies:
+                deadline = time.monotonic() + self.recv_timeout_s
+                for reply in replies:
+                    self.sock.sendto(encode(reply), self.server)
+            elif isinstance(frame, ControlFrame) is False:
+                deadline = time.monotonic() + self.recv_timeout_s
+
+        data = receiver.data
+        expected = service_payload(response["seed"], stream_id, size)
+        # Linger: re-answer wants_reply duplicates so a lost final ACK
+        # cannot wedge the server's sender machine.
+        linger_until = time.monotonic() + self.linger_s
+        while True:
+            remaining = linger_until - time.monotonic()
+            if remaining <= 0:
+                break
+            got = self._recv_frame(timeout_s=remaining)
+            if got is None:
+                break
+            frame, _sender = got
+            if getattr(frame, "stream_id", 0) != stream_id:
+                continue
+            for reply in receiver.on_frame(frame, time.monotonic() - started):
+                self.sock.sendto(encode(reply), self.server)
+        return UdpPullResult(
+            stream_id,
+            "ok",
+            size_bytes=len(data),
+            payload_ok=data == expected,
+            duplicates=receiver.duplicates,
+            elapsed_s=time.monotonic() - started,
+        )
+
+    def _await_reply(self, stream_id: int, timeout_s: float) -> Optional[dict]:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            got = self._recv_frame(timeout_s=remaining)
+            if got is None:
+                return None
+            frame, _sender = got
+            if (isinstance(frame, ControlFrame)
+                    and frame.request_id == stream_id
+                    and frame.stream_id in (0, stream_id)):
+                try:
+                    return json.loads(frame.body.decode())
+                except (ValueError, UnicodeDecodeError):
+                    return None

@@ -91,9 +91,11 @@ class UdpFileServer(BlastSender, BlastReceiver):
         self.files: Dict[str, bytes] = dict(files or {})
         self.strategy = strategy
         self.requests_served = 0
+        self.requests_rejected_busy = 0
         self._responses: Dict[Tuple[Tuple[str, int], int], dict] = {}
         self._next_transfer_id = 1
         self._stop = threading.Event()
+        self._busy = False
 
     # -- serving -------------------------------------------------------------
     def serve_forever(self) -> None:
@@ -124,21 +126,67 @@ class UdpFileServer(BlastSender, BlastReceiver):
         response = self._handle(request)
         self._responses[key] = response
         self.sock.sendto(_control(frame.request_id, **response), sender)
-        # Bulk phases follow the response on the same socket.
+        # Bulk phases follow the response on the same socket.  While one
+        # is in flight the server is busy: control requests from *other*
+        # exchanges get an immediate busy rejection (see ``_recv_frame``)
+        # instead of being silently swallowed by the bulk loops.
         if response.get("status") == "ok":
-            if request.get("op") == "read":
-                self.send(
-                    self.files[request["filename"]],
-                    sender,
-                    strategy=self.strategy,
-                    transfer_id=response["transfer_id"],
-                )
-            elif request.get("op") == "write":
-                outcome = self.serve_one(first_timeout_s=5.0)
-                if outcome.ok:
-                    self.files[request["filename"]] = outcome.data
+            self._busy = True
+            try:
+                if request.get("op") == "read":
+                    self.send(
+                        self.files[request["filename"]],
+                        sender,
+                        strategy=self.strategy,
+                        transfer_id=response["transfer_id"],
+                    )
+                elif request.get("op") == "write":
+                    outcome = self.serve_one(first_timeout_s=5.0)
+                    if outcome.ok:
+                        self.files[request["filename"]] = outcome.data
+            finally:
+                self._busy = False
         self.requests_served += 1
         return True
+
+    def _recv_frame(self, timeout_s: Optional[float]):
+        """Receive a frame; while busy, reject interleaved control requests.
+
+        The bulk phases (blast send/receive) run inline on the one
+        socket, so a second client's control request would otherwise be
+        consumed and dropped by the blast loops, hanging that client
+        until its retries are exhausted.  Instead: duplicates of an
+        already-answered request replay the cached response, and any
+        *new* request is answered with an explicit (uncached, so a later
+        retry can succeed) ``busy`` error frame while the bulk wait
+        continues with the remaining time budget.
+        """
+        if not self._busy:
+            return super()._recv_frame(timeout_s)
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+            got = super()._recv_frame(remaining)
+            if got is None:
+                return None
+            frame, sender = got
+            if not isinstance(frame, ControlFrame):
+                return got
+            key = (sender, frame.request_id)
+            if key in self._responses:
+                self.sock.sendto(
+                    _control(frame.request_id, **self._responses[key]), sender
+                )
+            else:
+                self.requests_rejected_busy += 1
+                self.sock.sendto(
+                    _control(frame.request_id, status="error", reason="busy"),
+                    sender,
+                )
 
     def _handle(self, request: dict) -> dict:
         op = request.get("op")
@@ -178,6 +226,7 @@ class UdpFileClient(BlastReceiver, BlastSender):
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         request_timeout_s: float = 0.25,
         max_retries: int = 20,
+        busy_retry_s: float = 0.05,
         fault_plan=None,
         fault_seed: Optional[int] = None,
     ):
@@ -191,19 +240,35 @@ class UdpFileClient(BlastReceiver, BlastSender):
         self.server = server
         self.request_timeout_s = request_timeout_s
         self.max_retries = max_retries
+        self.busy_retry_s = busy_retry_s
         self._next_request_id = 1
 
     # -- control plumbing --------------------------------------------------
     def _request(self, **fields) -> dict:
-        """One control request, retried until its response arrives."""
+        """One control request, retried until its response arrives.
+
+        A ``busy`` rejection (the server is mid-bulk for another
+        exchange) is transient by construction — the server does not
+        cache it — so it is retried with a short backoff under the same
+        retry budget.  Callers only see ``busy`` once the budget is
+        exhausted.
+        """
         request_id = self._next_request_id
         self._next_request_id += 1
         datagram = _control(request_id, **fields)
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
             self.sock.sendto(datagram, self.server)
             response = self._await_control(request_id, self.request_timeout_s)
-            if response is not None:
-                return response
+            if response is None:
+                continue
+            if (
+                response.get("status") == "error"
+                and response.get("reason") == "busy"
+                and attempt + 1 < self.max_retries
+            ):
+                time.sleep(self.busy_retry_s)
+                continue
+            return response
         raise FileServiceError(
             f"no response to {fields.get('op')!r} after {self.max_retries} retries"
         )

@@ -1,5 +1,13 @@
-"""Workload generators: transfer-size mixes and file-access traces."""
+"""Workload generators: size mixes, arrival patterns, and access traces."""
 
+from .arrivals import (
+    ARRIVAL_GENERATORS,
+    arrival_names,
+    make_arrivals,
+    poisson_arrivals,
+    simultaneous_arrivals,
+    uniform_arrivals,
+)
 from .sizes import (
     PAPER_TABLE_SIZES,
     dump_chunks,
@@ -10,6 +18,12 @@ from .sizes import (
 from .traces import AccessRequest, FileAccessTrace, make_trace
 
 __all__ = [
+    "ARRIVAL_GENERATORS",
+    "arrival_names",
+    "make_arrivals",
+    "simultaneous_arrivals",
+    "uniform_arrivals",
+    "poisson_arrivals",
     "PAPER_TABLE_SIZES",
     "paper_table_sizes",
     "page_cluster_sizes",

@@ -1,0 +1,102 @@
+"""Multi-blast under fault-plan reordering (satellite of the service PR).
+
+``MultiBlastTransfer`` folds per-blast payloads into a shared offset
+table, so interleaved/duplicated arrival orders are exactly where an
+off-by-one in the chunk bookkeeping would corrupt the reassembly.  These
+tests drive it with the builtin reorder plans — both through the pure
+``apply_to_sequence`` adapter (to pin the arrival orders themselves) and
+through ``ScriptedErrors`` on the simulated wire.
+"""
+
+import pytest
+
+from repro.core import run_transfer
+from repro.faults.plan import FaultPlan, FaultRule, apply_to_sequence
+from repro.faults.plans import builtin_plan
+from repro.faults.scripted import ScriptedErrors
+from repro.simnet import NetworkParams
+
+PARAMS = NetworkParams.standalone()
+
+
+def payload(n_packets):
+    return bytes(range(256)) * 4 * n_packets  # n_packets KiB, patterned
+
+
+class TestReorderArrivalOrders:
+    def test_reorder_window_interleaves(self):
+        plan = builtin_plan("reorder-window")
+        order = apply_to_sequence(plan, list(range(10)))
+        assert sorted(order) == list(range(10))  # nothing lost
+        assert order != list(range(10))  # but genuinely out of order
+
+    def test_dup_reorder_duplicates_and_interleaves(self):
+        plan = builtin_plan("dup+reorder")
+        order = apply_to_sequence(plan, list(range(10)))
+        assert set(order) == set(range(10))
+        assert len(order) > 10  # dup-burst added arrivals
+        assert order != sorted(order)
+
+    def test_arrival_order_deterministic(self):
+        plan = builtin_plan("dup+reorder")
+        items = list(range(12))
+        assert apply_to_sequence(plan, items) == apply_to_sequence(plan, items)
+
+
+class TestMultiBlastUnderReorder:
+    @pytest.mark.parametrize("plan_name", ["reorder-window", "dup+reorder"])
+    @pytest.mark.parametrize("strategy", ["gobackn", "selective"])
+    def test_data_intact_under_builtin_plans(self, plan_name, strategy):
+        data = payload(10)
+        result = run_transfer(
+            "multiblast", data, params=PARAMS, blast_packets=3,
+            strategy=strategy,
+            error_model=ScriptedErrors(builtin_plan(plan_name), seed=3),
+        )
+        assert result.data_intact
+        assert result.data == data
+
+    def test_deep_reorder_across_blast_boundary(self):
+        # A depth-4 reorder at the last packet of blast 0 pushes it past
+        # the first packets of blast 1 — the cross-chunk interleaving
+        # the offset table must survive.
+        plan = FaultPlan(
+            name="cross-blast-reorder",
+            rules=(
+                FaultRule(action="reorder", kinds=("data",),
+                          direction="send", indices=(2, 3), depth=4),
+            ),
+            description="straddle the blast boundary",
+        )
+        data = payload(8)
+        result = run_transfer(
+            "multiblast", data, params=PARAMS, blast_packets=4,
+            strategy="selective", error_model=ScriptedErrors(plan, seed=0),
+        )
+        assert result.data_intact and result.data == data
+
+    def test_reorder_run_is_deterministic(self):
+        data = payload(6)
+
+        def run():
+            return run_transfer(
+                "multiblast", data, params=PARAMS, blast_packets=2,
+                strategy="selective",
+                error_model=ScriptedErrors(builtin_plan("dup+reorder"),
+                                           seed=9),
+            )
+
+        first, second = run(), run()
+        assert first.elapsed_s == second.elapsed_s
+        assert first.stats.data_frames_sent == second.stats.data_frames_sent
+        assert first.stats.duplicates_received == second.stats.duplicates_received
+
+    def test_duplicates_are_counted_not_reassembled(self):
+        data = payload(6)
+        result = run_transfer(
+            "multiblast", data, params=PARAMS, blast_packets=3,
+            strategy="selective",
+            error_model=ScriptedErrors(builtin_plan("dup-burst"), seed=1),
+        )
+        assert result.data_intact and result.data == data
+        assert result.stats.duplicates_received >= 1

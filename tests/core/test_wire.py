@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import AckFrame, DataFrame, NakFrame, WireError, decode, encode
-from repro.core.wire import HEADER_BYTES
+from repro.core import AckFrame, ControlFrame, DataFrame, NakFrame, WireError, decode, encode
+from repro.core.wire import HEADER2_BYTES, HEADER_BYTES
 
 
 class TestRoundTrips:
@@ -69,6 +69,82 @@ class TestRoundTrips:
         decoded = decode(encode(nak))
         assert decoded.missing == missing
         assert decoded.first_missing == missing[0]
+
+
+class TestStreamVersion:
+    """Version-2 frames carry a stream id; version 1 stays byte-stable."""
+
+    def test_stream_zero_encodes_version_1(self):
+        datagram = encode(DataFrame(7, 3, 10, b"hello", stream_id=0))
+        assert datagram[2] == 1  # version byte
+        assert len(datagram) == HEADER_BYTES + 5
+
+    def test_nonzero_stream_encodes_version_2(self):
+        datagram = encode(DataFrame(7, 3, 10, b"hello", stream_id=42))
+        assert datagram[2] == 2
+        assert len(datagram) == HEADER2_BYTES + 5
+
+    def test_stream_roundtrip_all_kinds(self):
+        frames = [
+            DataFrame(7, 3, 10, b"hello", wants_reply=True, stream_id=9),
+            AckFrame(7, seq=3, stream_id=9),
+            NakFrame(7, first_missing=1, missing=(1, 4), total=10, stream_id=9),
+            ControlFrame(7, request_id=2, body=b"{}", stream_id=9),
+        ]
+        for frame in frames:
+            decoded = decode(encode(frame))
+            assert decoded.stream_id == 9
+            assert decoded.transfer_id == 7
+            assert type(decoded) is type(frame)
+
+    def test_version_1_decodes_to_stream_zero(self):
+        decoded = decode(encode(AckFrame(9, seq=63)))
+        assert decoded.stream_id == 0
+
+    def test_v1_bytes_unchanged_by_stream_field(self):
+        """The stream-id addition must not perturb the legacy encoding."""
+        datagram = encode(DataFrame(1, 0, 1, b"payload"))
+        import struct
+        import zlib
+        header = struct.pack(">HBBIIIBH", 0x5A57, 1, 1, 1, 0, 1, 0, 7)
+        crc = zlib.crc32(header + b"payload") & 0xFFFFFFFF
+        assert datagram == header + struct.pack(">I", crc) + b"payload"
+
+    def test_v2_frame_claiming_stream_zero_rejected(self):
+        datagram = bytearray(encode(AckFrame(1, seq=0, stream_id=5)))
+        # forge stream=0 and re-stamp the CRC
+        import struct
+        import zlib
+        datagram[4:8] = struct.pack(">I", 0)
+        body = bytes(datagram[:16])
+        datagram[16:20] = struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(WireError, match="stream 0"):
+            decode(bytes(datagram))
+
+    def test_corrupted_v2_frame_fails_crc(self):
+        datagram = bytearray(encode(DataFrame(1, 0, 1, b"x" * 20, stream_id=3)))
+        datagram[-4] ^= 0x10
+        with pytest.raises(WireError):
+            decode(bytes(datagram))
+
+    @given(
+        stream=st.integers(1, 2**32 - 1),
+        xfer=st.integers(0, 2**32 - 1),
+        payload=st.binary(max_size=600),
+    )
+    @settings(max_examples=100)
+    def test_v2_data_roundtrip_property(self, stream, xfer, payload):
+        frame = DataFrame(xfer, 0, 1, payload, stream_id=stream)
+        decoded = decode(encode(frame))
+        assert (decoded.stream_id, decoded.transfer_id, decoded.payload) == (
+            stream, xfer, payload)
+
+    def test_peek_reads_v2_header(self):
+        from repro.core.frames import FrameKind
+        from repro.core.wire import peek
+        kind, seq = peek(encode(DataFrame(1, 4, 9, b"z", stream_id=77)))
+        assert kind is FrameKind.DATA
+        assert seq == 4
 
 
 class TestCorruptionHandling:

@@ -1,6 +1,6 @@
 """Conformance harness: fast DES sweep + spot-checked UDP cells.
 
-The full 96-cell matrix lives in ``benchmarks/`` (and the committed
+The full 108-cell matrix lives in ``benchmarks/`` (and the committed
 golden ledger); here we keep the DES side exhaustive over a plan subset
 and only spot-check the slow wall-clock substrate.
 """

@@ -1,0 +1,16 @@
+"""REP109 bad fixture: blocking calls inside the service event loop."""
+
+import time
+
+
+def wait_for_budget(quantum_s: float) -> None:
+    time.sleep(quantum_s)
+
+
+def pump(sock):
+    datagram, sender = sock.recvfrom(2048)
+    return datagram, sender
+
+
+def pull_one(sock):
+    return sock.recv(2048)

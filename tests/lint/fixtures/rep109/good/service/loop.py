@@ -1,0 +1,11 @@
+"""REP109 good fixture: every wait is bounded by the core's deadline."""
+
+
+def pump(endpoint, core, now: float):
+    deadline = core.next_deadline(now)
+    wait = 0.05 if deadline is None else max(deadline - now, 0.0005)
+    return endpoint._recv_frame(timeout_s=wait)
+
+
+def send(endpoint, frame, addr) -> None:
+    endpoint.sock.sendto(frame, addr)

@@ -1,0 +1,1 @@
+"""Tests for the concurrent transfer service (repro.service)."""

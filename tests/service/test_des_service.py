@@ -1,0 +1,96 @@
+"""DES-substrate service tests, including the 64-stream acceptance run.
+
+The acceptance criteria this file pins down: a single service endpoint
+completes 64 concurrent transfers with byte-identical payloads, and the
+metrics report is byte-identical across repeated runs (the loadgen
+sweep test separately pins ``--jobs`` invariance).
+"""
+
+import pytest
+
+from repro.faults.scripted import ScriptedErrors
+from repro.faults.plans import builtin_plan
+from repro.service.engine import ServiceConfig
+from repro.service.simservice import run_des_service
+from repro.workloads import make_arrivals
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("protocol", ["blast", "sliding", "saw"])
+    def test_single_stream_completes(self, protocol):
+        result = run_des_service([4096],
+                                 config=ServiceConfig(protocol=protocol))
+        assert result.ok and result.completed == 1
+        assert result.client_status == {1: "ok"}
+
+    @pytest.mark.parametrize("policy", ["fifo", "rr", "copy-budget"])
+    def test_concurrent_streams_each_policy(self, policy):
+        result = run_des_service([4096] * 8,
+                                 config=ServiceConfig(policy=policy))
+        assert result.ok and result.completed == 8
+
+    def test_mixed_sizes(self):
+        result = run_des_service([100, 4096, 16384])
+        assert result.ok
+        rows = {r["stream"]: r for r in result.report["transfers"]}
+        assert rows[1]["bytes"] == 100 and rows[3]["bytes"] == 16384
+
+    def test_staggered_arrivals(self):
+        arrivals = make_arrivals("poisson", 6, span_s=0.5, seed=3)
+        result = run_des_service([4096] * 6, arrivals=arrivals)
+        assert result.ok and result.completed == 6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_des_service([])
+        with pytest.raises(ValueError):
+            run_des_service([1024], arrivals=[0.0, 0.0])
+
+
+class TestAdmissionControl:
+    def test_overflow_is_rejected_not_dropped(self):
+        config = ServiceConfig(max_active=4, max_queue=2)
+        result = run_des_service([2048] * 10, config=config)
+        assert result.completed == 6 and result.rejected == 4
+        statuses = set(result.client_status.values())
+        assert statuses == {"ok", "rejected"}
+        assert result.ok  # rejected clients got an explicit verdict
+
+    def test_queue_depth_recorded(self):
+        config = ServiceConfig(max_active=2, max_queue=16)
+        result = run_des_service([2048] * 10, config=config)
+        assert result.ok
+        assert result.report["summary"]["max_queue_depth"] >= 1
+        assert all(r["queue_wait_s"] >= 0.0
+                   for r in result.report["transfers"])
+
+
+class TestAcceptance64:
+    def test_64_concurrent_byte_identical_and_reproducible(self):
+        config = ServiceConfig(max_active=8, max_queue=64)
+        first = run_des_service([4096] * 64, config=config)
+        assert first.ok and first.completed == 64 and first.rejected == 0
+        assert first.payloads_ok  # every payload byte-verified client-side
+        assert first.report["summary"]["failed"] == 0
+        # Repeated run: the metrics report must be byte-identical.
+        second = run_des_service([4096] * 64, config=config)
+        assert second.report_json == first.report_json
+
+
+class TestUnderFaults:
+    def test_completes_under_dup_reorder_plan(self):
+        plan = builtin_plan("dup+reorder")
+        result = run_des_service(
+            [4096] * 4, config=ServiceConfig(protocol="sliding"),
+            error_model=ScriptedErrors(plan, seed=5),
+        )
+        assert result.ok and result.completed == 4
+
+    def test_deterministic_under_faults(self):
+        plan = builtin_plan("dup-burst")
+        runs = [
+            run_des_service([4096] * 3,
+                            error_model=ScriptedErrors(plan, seed=2))
+            for _ in range(2)
+        ]
+        assert runs[0].report_json == runs[1].report_json

@@ -1,0 +1,132 @@
+"""Unit tests for ServiceCore: admission, control protocol, demux."""
+
+import json
+
+import pytest
+
+from repro.core.frames import AckFrame, ControlFrame
+from repro.service.engine import ServiceConfig, ServiceCore
+
+
+def pull_frame(stream_id, size, request_id=None, client="c"):
+    body = {"client": client, "op": "pull", "size": size, "stream": stream_id}
+    return ControlFrame(
+        transfer_id=0,
+        request_id=request_id if request_id is not None else stream_id,
+        body=json.dumps(body, sort_keys=True).encode(),
+    )
+
+
+def reply_body(outputs):
+    (frame, _client), = outputs
+    return json.loads(frame.body.decode())
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ServiceConfig()
+        assert config.protocol == "blast" and config.policy == "fifo"
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            ServiceConfig(protocol="tcp")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_active=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(timeout_s=0.0)
+
+    def test_to_dict_echoes_policy(self):
+        assert ServiceConfig(policy="rr").to_dict()["policy"] == "rr"
+
+
+class TestControlProtocol:
+    def test_pull_activates_and_replies_ok(self):
+        core = ServiceCore()
+        outputs = core.on_frame(pull_frame(1, 4096), 0.0, client="c")
+        body = reply_body(outputs)
+        assert body["status"] == "ok" and body["stream"] == 1
+        assert body["packets"] == 4 and body["seed"] == core.config.seed
+        assert core.active_count == 1
+
+    def test_duplicate_pull_replays_cached_response(self):
+        core = ServiceCore()
+        first = reply_body(core.on_frame(pull_frame(1, 4096), 0.0, client="c"))
+        again = reply_body(core.on_frame(pull_frame(1, 4096), 0.5, client="c"))
+        assert first == again
+        assert core.active_count == 1  # not re-activated
+
+    def test_queue_then_reject_when_full(self):
+        core = ServiceCore(ServiceConfig(max_active=1, max_queue=1))
+        assert reply_body(core.on_frame(pull_frame(1, 1024), 0.0))["status"] == "ok"
+        assert reply_body(core.on_frame(pull_frame(2, 1024), 0.0))["status"] == "ok"
+        rejected = reply_body(core.on_frame(pull_frame(3, 1024), 0.0))
+        assert rejected["status"] == "rejected"
+        assert rejected["reason"] == "queue full"
+        assert core.pending_count == 1
+        assert len(core.metrics.rejections) == 1
+
+    def test_rejection_is_sticky_on_duplicate(self):
+        core = ServiceCore(ServiceConfig(max_active=1, max_queue=0))
+        core.on_frame(pull_frame(1, 1024), 0.0)
+        first = reply_body(core.on_frame(pull_frame(2, 1024), 0.0))
+        again = reply_body(core.on_frame(pull_frame(2, 1024), 1.0))
+        assert first["status"] == again["status"] == "rejected"
+        assert len(core.metrics.rejections) == 1  # not double-counted
+
+    def test_bad_stream_and_size_rejected(self):
+        core = ServiceCore()
+        assert reply_body(core.on_frame(pull_frame(0, 10), 0.0))["status"] == "error"
+        too_big = core.config.max_size_bytes + 1
+        assert reply_body(core.on_frame(pull_frame(1, too_big), 0.0))["status"] == "error"
+
+    def test_unknown_op_gets_error_reply(self):
+        frame = ControlFrame(transfer_id=0, request_id=9,
+                             body=json.dumps({"op": "push"}).encode())
+        body = reply_body(ServiceCore().on_frame(frame, 0.0))
+        assert body["status"] == "error"
+
+    def test_malformed_body_ignored(self):
+        frame = ControlFrame(transfer_id=0, request_id=9, body=b"\xff\xfe")
+        assert ServiceCore().on_frame(frame, 0.0) == []
+
+
+class TestSchedulingAndCompletion:
+    def test_poll_grants_frames_to_client(self):
+        core = ServiceCore()
+        core.on_frame(pull_frame(1, 2048), 0.0, client="c")
+        outputs = core.poll(0.0)
+        assert outputs and all(client == "c" for _, client in outputs)
+        assert all(frame.stream_id == 1 for frame, _ in outputs)
+
+    def test_ack_completes_and_admits_from_queue(self):
+        core = ServiceCore(ServiceConfig(max_active=1, max_queue=4))
+        core.on_frame(pull_frame(1, 1024), 0.0, client="a")
+        core.on_frame(pull_frame(2, 1024), 0.0, client="b")
+        assert core.pending_count == 1
+        list(core.poll(0.0))
+        core.on_frame(AckFrame(transfer_id=1, seq=0, stream_id=1), 0.01)
+        assert core.finished_count == 1
+        assert core.active_count == 1 and core.pending_count == 0
+        assert core.finished[1].ok
+
+    def test_ack_for_unknown_stream_ignored(self):
+        core = ServiceCore()
+        assert core.on_frame(AckFrame(transfer_id=9, seq=0, stream_id=9),
+                             0.0) == []
+
+    def test_next_deadline_none_when_idle(self):
+        core = ServiceCore()
+        assert core.next_deadline(0.0) is None
+
+    def test_next_deadline_now_when_sendable(self):
+        core = ServiceCore()
+        core.on_frame(pull_frame(1, 2048), 0.0)
+        assert core.next_deadline(0.0) == 0.0
+
+    def test_report_includes_config_echo(self):
+        core = ServiceCore(ServiceConfig(policy="rr"))
+        report = json.loads(core.report_json())
+        assert report["config"]["policy"] == "rr"
+        assert report["schema_version"] == 1

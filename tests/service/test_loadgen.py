@@ -1,0 +1,76 @@
+"""Loadgen tests: workload registry, sweep determinism, jobs invariance."""
+
+import pytest
+
+from repro.service.loadgen import (
+    ScalingCell,
+    _run_scaling_cell,
+    make_sizes,
+    run_des_loadgen,
+    run_scaling_sweep,
+)
+from repro.workloads import make_arrivals
+
+
+class TestWorkloadRegistry:
+    def test_fixed_sizes(self):
+        assert make_sizes("fixed", 3, size_bytes=2048) == [2048] * 3
+
+    def test_paper_table_cycles(self):
+        sizes = make_sizes("paper-table", 6)
+        assert sizes[:4] == [1024, 4096, 16384, 65536]
+        assert sizes[4] == 1024
+
+    def test_seeded_workloads_deterministic(self):
+        assert make_sizes("file-mix", 10, seed=3) == make_sizes(
+            "file-mix", 10, seed=3)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown size workload"):
+            make_sizes("mystery", 3)
+
+
+class TestArrivals:
+    def test_simultaneous_all_zero(self):
+        assert make_arrivals("simultaneous", 4) == [0.0] * 4
+
+    def test_uniform_spread(self):
+        assert make_arrivals("uniform", 4, span_s=2.0) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_poisson_monotone_and_seeded(self):
+        a = make_arrivals("poisson", 8, span_s=1.0, seed=5)
+        assert a == sorted(a)
+        assert a == make_arrivals("poisson", 8, span_s=1.0, seed=5)
+        assert a != make_arrivals("poisson", 8, span_s=1.0, seed=6)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError, match="unknown arrival pattern"):
+            make_arrivals("bursty", 3)
+
+
+class TestDesLoadgen:
+    def test_runs_named_workloads(self):
+        result = run_des_loadgen(4, sizes="paper-table", arrivals="uniform",
+                                 span_s=0.2)
+        assert result.ok and result.completed == 4
+
+    def test_validates_client_count(self):
+        with pytest.raises(ValueError):
+            run_des_loadgen(0)
+
+
+class TestScalingSweep:
+    def test_cell_worker_is_deterministic(self):
+        cell = ScalingCell(concurrency=4, protocol="blast", policy="rr")
+        assert _run_scaling_cell(cell) == _run_scaling_cell(cell)
+
+    def test_sweep_byte_identical_across_jobs(self):
+        # The --jobs acceptance criterion, on a small grid: sharding the
+        # cells across workers must not change a byte of the report.
+        kwargs = dict(concurrencies=(1, 4), protocols=("blast",),
+                      policies=("fifo", "rr"))
+        serial = run_scaling_sweep(n_jobs=1, **kwargs)
+        sharded = run_scaling_sweep(n_jobs=3, **kwargs)
+        assert serial.report == sharded.report
+        assert serial.cells == sharded.cells
+        assert serial.all_ok

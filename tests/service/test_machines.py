@@ -1,0 +1,188 @@
+"""Unit tests for the substrate-free per-transfer state machines."""
+
+import pytest
+
+from repro.core.frames import AckFrame, DataFrame, NakFrame
+from repro.service.machines import (
+    BlastSenderMachine,
+    ReceiverMachine,
+    WindowSenderMachine,
+    make_sender_machine,
+    receiver_for,
+    service_payload,
+)
+
+
+def drain(machine, now):
+    frames = []
+    while machine.has_frame(now):
+        frames.append(machine.next_frame(now))
+    return frames
+
+
+class TestServicePayload:
+    def test_deterministic(self):
+        assert service_payload(7, 3, 1024) == service_payload(7, 3, 1024)
+
+    def test_streams_differ(self):
+        assert service_payload(7, 1, 1024) != service_payload(7, 2, 1024)
+
+    def test_seeds_differ(self):
+        assert service_payload(7, 1, 1024) != service_payload(8, 1, 1024)
+
+    def test_size(self):
+        assert len(service_payload(0, 1, 300)) == 300
+
+
+class TestBlastSender:
+    def test_clean_round_completes(self):
+        machine = BlastSenderMachine(1, bytes(3000), 1024, timeout_s=0.1)
+        frames = drain(machine, 0.0)
+        assert [f.seq for f in frames] == [0, 1, 2]
+        assert [f.wants_reply for f in frames] == [False, False, True]
+        assert all(f.stream_id == 1 for f in frames)
+        machine.on_frame(AckFrame(transfer_id=1, seq=2, stream_id=1), 0.01)
+        assert machine.done and machine.outcome().ok
+        assert machine.outcome().retransmits == 0
+
+    def test_timeout_triggers_new_round(self):
+        machine = BlastSenderMachine(1, bytes(2048), 1024, timeout_s=0.1)
+        drain(machine, 0.0)
+        assert machine.next_deadline() == pytest.approx(0.1)
+        machine.poll(0.2)
+        assert machine.rounds == 2
+        frames = drain(machine, 0.2)
+        assert frames and machine.retransmits == len(frames)
+
+    def test_nak_selective_resends_missing_only(self):
+        machine = BlastSenderMachine(1, bytes(4096), 1024, timeout_s=0.1,
+                                     strategy="selective")
+        drain(machine, 0.0)
+        machine.on_frame(
+            NakFrame(transfer_id=1, first_missing=1, missing=(1, 3), total=4,
+                     stream_id=1),
+            0.01,
+        )
+        frames = drain(machine, 0.01)
+        assert sorted(f.seq for f in frames) == [1, 3]
+
+    def test_round_cap_fails_transfer(self):
+        machine = BlastSenderMachine(1, bytes(1024), 1024, timeout_s=0.1,
+                                     max_rounds=2)
+        now = 0.0
+        for _ in range(3):
+            drain(machine, now)
+            now += 0.2
+            machine.poll(now)
+            if machine.finished:
+                break
+        assert machine.failed
+        assert "gave up" in machine.outcome().error
+
+    def test_empty_payload_is_one_packet(self):
+        machine = BlastSenderMachine(1, b"", 1024, timeout_s=0.1)
+        frames = drain(machine, 0.0)
+        assert len(frames) == 1 and frames[0].payload == b""
+
+    def test_rejects_stream_zero(self):
+        with pytest.raises(ValueError):
+            BlastSenderMachine(0, b"x", 1024, timeout_s=0.1)
+
+
+class TestWindowSender:
+    def test_window_limits_outstanding(self):
+        machine = WindowSenderMachine(1, bytes(8192), 1024, timeout_s=0.1,
+                                      window=3)
+        frames = drain(machine, 0.0)
+        assert len(frames) == 3
+        machine.on_frame(AckFrame(transfer_id=1, seq=0, stream_id=1), 0.01)
+        assert machine.frames_available(0.01) == 1
+
+    def test_completes_on_all_acks(self):
+        machine = WindowSenderMachine(1, bytes(2048), 1024, timeout_s=0.1,
+                                      window=4)
+        frames = drain(machine, 0.0)
+        for frame in frames:
+            machine.on_frame(AckFrame(transfer_id=1, seq=frame.seq,
+                                      stream_id=1), 0.01)
+        assert machine.done and machine.outcome().ok
+
+    def test_overdue_packet_retransmits_first(self):
+        machine = WindowSenderMachine(1, bytes(4096), 1024, timeout_s=0.1,
+                                      window=2)
+        drain(machine, 0.0)  # seq 0, 1 outstanding
+        frames = drain(machine, 0.15)
+        assert frames[0].seq == 0 and machine.retransmits >= 1
+
+    def test_attempt_cap_fails(self):
+        machine = WindowSenderMachine(1, bytes(1024), 1024, timeout_s=0.1,
+                                      max_rounds=2, window=1)
+        now = 0.0
+        for _ in range(5):
+            machine.poll(now)
+            if machine.finished:
+                break
+            drain(machine, now)
+            now += 0.2
+        assert machine.failed
+
+    def test_saw_is_window_one(self):
+        machine = make_sender_machine("saw", 1, bytes(4096), 1024,
+                                      timeout_s=0.1)
+        assert isinstance(machine, WindowSenderMachine)
+        assert machine.window == 1
+        assert len(drain(machine, 0.0)) == 1
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            make_sender_machine("carrier-pigeon", 1, b"", 1024, timeout_s=0.1)
+
+
+class TestReceiverMachine:
+    def test_blast_replies_only_on_wants_reply(self):
+        receiver = receiver_for("blast", 5)
+        payload = service_payload(7, 5, 2048)
+        f0 = DataFrame(transfer_id=5, seq=0, total=2, payload=payload[:1024],
+                       stream_id=5)
+        f1 = DataFrame(transfer_id=5, seq=1, total=2, payload=payload[1024:],
+                       wants_reply=True, stream_id=5)
+        assert receiver.on_frame(f0, 0.0) == []
+        replies = receiver.on_frame(f1, 0.0)
+        assert len(replies) == 1 and isinstance(replies[0], AckFrame)
+        assert replies[0].seq == 1
+        assert receiver.done and receiver.data == payload
+
+    def test_blast_naks_when_incomplete(self):
+        receiver = receiver_for("blast", 5, strategy="selective")
+        f1 = DataFrame(transfer_id=5, seq=1, total=3, payload=b"b" * 10,
+                       wants_reply=True, stream_id=5)
+        replies = receiver.on_frame(f1, 0.0)
+        assert len(replies) == 1 and isinstance(replies[0], NakFrame)
+        assert 0 in replies[0].missing and 2 in replies[0].missing
+
+    def test_timer_only_strategy_stays_silent(self):
+        receiver = receiver_for("blast", 5, strategy="full_no_nak")
+        f1 = DataFrame(transfer_id=5, seq=1, total=3, payload=b"b",
+                       wants_reply=True, stream_id=5)
+        assert receiver.on_frame(f1, 0.0) == []
+
+    def test_sliding_acks_every_frame(self):
+        receiver = receiver_for("sliding", 5)
+        frame = DataFrame(transfer_id=5, seq=0, total=2, payload=b"a",
+                          stream_id=5)
+        assert len(receiver.on_frame(frame, 0.0)) == 1
+
+    def test_duplicate_counted_and_reacked(self):
+        receiver = receiver_for("sliding", 5)
+        frame = DataFrame(transfer_id=5, seq=0, total=1, payload=b"a",
+                          stream_id=5)
+        receiver.on_frame(frame, 0.0)
+        replies = receiver.on_frame(frame, 0.1)
+        assert receiver.duplicates == 1 and len(replies) == 1
+
+    def test_other_stream_ignored(self):
+        receiver = receiver_for("sliding", 5)
+        frame = DataFrame(transfer_id=6, seq=0, total=1, payload=b"a",
+                          stream_id=6)
+        assert receiver.on_frame(frame, 0.0) == []
+        assert receiver.tracker is None

@@ -1,0 +1,107 @@
+"""Unit tests for the metrics layer and its byte-stable export."""
+
+import json
+
+import pytest
+
+from repro.service.machines import TransferOutcome
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.25) == 1.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+
+
+def outcome(stream_id, ok=True, **kwargs):
+    defaults = dict(size_bytes=1024, packets=1, data_frames_sent=1,
+                    retransmits=0, rounds=1, error="")
+    defaults.update(kwargs)
+    return TransferOutcome(stream_id=stream_id, ok=ok, **defaults)
+
+
+class TestServiceMetrics:
+    def test_lifecycle_summary(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(1, "a", 0.0)
+        metrics.on_started(1, 0.1)
+        metrics.on_finished(1, outcome(1), 0.5)
+        metrics.on_rejected(2, "b", "queue full", 0.2)
+        summary = metrics.summary()
+        assert summary["transfers"] == 1 and summary["ok"] == 1
+        assert summary["rejected"] == 1
+        assert summary["p50_completion_s"] == pytest.approx(0.5)
+        assert summary["makespan_s"] == pytest.approx(0.5)
+        assert summary["goodput_bytes_per_s"] == pytest.approx(1024 / 0.5)
+
+    def test_failed_transfer_counted(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(1, "a", 0.0)
+        metrics.on_started(1, 0.0)
+        metrics.on_finished(1, outcome(1, ok=False, error="gave up"), 1.0)
+        summary = metrics.summary()
+        assert summary["failed"] == 1 and summary["ok"] == 0
+        assert summary["bytes"] == 0  # failed bytes don't count as goodput
+
+    def test_queue_depth_coalesces_same_timestamp(self):
+        metrics = ServiceMetrics()
+        metrics.on_queue_depth(1.0, 3)
+        metrics.on_queue_depth(1.0, 5)
+        metrics.on_queue_depth(2.0, 1)
+        assert metrics.queue_depth == [(1.0, 5), (2.0, 1)]
+        assert metrics.summary()["max_queue_depth"] == 5
+
+    def test_json_export_is_byte_stable(self):
+        def build():
+            metrics = ServiceMetrics()
+            metrics.on_submitted(2, "b", 0.0)
+            metrics.on_submitted(1, "a", 0.0)
+            metrics.on_started(1, 0.1)
+            metrics.on_finished(1, outcome(1), 0.123456789123)
+            return metrics.to_json({"policy": "fifo"})
+
+        assert build() == build()
+        assert build().endswith("\n")
+
+    def test_transfers_sorted_by_stream(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(2, "b", 0.0)
+        metrics.on_submitted(1, "a", 0.0)
+        rows = metrics.to_dict()["transfers"]
+        assert [r["stream"] for r in rows] == [1, 2]
+
+    def test_float_rounding_in_export(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(1, "a", 0.1234567894444)
+        row = metrics.to_dict()["transfers"][0]
+        assert row["submitted_s"] == 0.123456789
+
+    def test_render_table_shape(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(1, "a", 0.0)
+        metrics.on_started(1, 0.0)
+        metrics.on_finished(1, outcome(1), 0.5)
+        metrics.on_rejected(9, "z", "queue full", 0.1)
+        table = metrics.render_table({"policy": "fifo"})
+        assert "# service report" in table
+        assert "policy=fifo" in table
+        assert "REJECTED(queue full)" in table
+
+    def test_json_parses_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.on_submitted(1, "a", 0.0)
+        parsed = json.loads(metrics.to_json())
+        assert parsed["summary"]["transfers"] == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the scheduling policies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service.scheduler import (
+    CopyBudgetPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    get_policy,
+    policy_names,
+)
+
+
+class FakeMachine:
+    def __init__(self, available):
+        self.available = available
+
+    def frames_available(self, now):
+        return self.available
+
+    def has_frame(self, now):
+        return self.available > 0
+
+
+@dataclass
+class FakeEntry:
+    machine: FakeMachine
+    client: str
+
+
+def active(*specs):
+    """specs: (stream_id, client, frames_available)."""
+    return {
+        stream_id: FakeEntry(FakeMachine(avail), client)
+        for stream_id, client, avail in specs
+    }
+
+
+class TestFifo:
+    def test_head_drains_first(self):
+        table = active((1, "a", 5), (2, "b", 5))
+        assert FifoPolicy().grants(table, 0.0, 4) == [1, 1, 1, 1]
+
+    def test_spills_to_next_when_head_short(self):
+        table = active((1, "a", 2), (2, "b", 5))
+        assert FifoPolicy().grants(table, 0.0, 4) == [1, 1, 2, 2]
+
+    def test_empty_table(self):
+        assert FifoPolicy().grants({}, 0.0, 4) == []
+
+
+class TestRoundRobin:
+    def test_alternates_between_clients(self):
+        table = active((1, "a", 5), (2, "b", 5))
+        grants = RoundRobinPolicy().grants(table, 0.0, 4)
+        assert grants == [1, 2, 1, 2]
+
+    def test_rotation_persists_across_calls(self):
+        policy = RoundRobinPolicy()
+        table = active((1, "a", 5), (2, "b", 5))
+        first = policy.grants(table, 0.0, 1)
+        second = policy.grants(table, 0.0, 1)
+        assert first + second == [1, 2]
+
+    def test_skips_empty_clients(self):
+        table = active((1, "a", 0), (2, "b", 3))
+        assert RoundRobinPolicy().grants(table, 0.0, 2) == [2, 2]
+
+    def test_terminates_when_nothing_available(self):
+        table = active((1, "a", 0), (2, "b", 0))
+        assert RoundRobinPolicy().grants(table, 0.0, 8) == []
+
+    def test_same_client_streams_share_turn(self):
+        table = active((1, "a", 5), (2, "a", 5), (3, "b", 5))
+        grants = RoundRobinPolicy().grants(table, 0.0, 4)
+        # Client "a" serves stream 1 on its turns; "b" serves stream 3.
+        assert grants == [1, 3, 1, 3]
+
+
+class TestCopyBudget:
+    def test_caps_grants_per_quantum(self):
+        policy = CopyBudgetPolicy(quantum_s=0.01, copy_s_per_packet=0.004)
+        table = active((1, "a", 10))
+        assert len(policy.grants(table, 0.0, 8)) == 2  # floor(0.01/0.004)
+        assert policy.grants(table, 0.005, 8) == []  # same window: spent
+        assert policy.budget_exhausted(0.005)
+
+    def test_budget_replenishes_next_window(self):
+        policy = CopyBudgetPolicy(quantum_s=0.01, copy_s_per_packet=0.004)
+        table = active((1, "a", 10))
+        policy.grants(table, 0.0, 8)
+        assert len(policy.grants(table, 0.011, 8)) == 2
+        assert policy.next_window_start(0.011) == pytest.approx(0.02)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            CopyBudgetPolicy(quantum_s=0.0)
+
+
+class TestRegistry:
+    def test_names_are_canonical(self):
+        assert policy_names() == ["fifo", "rr", "copy-budget"]
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            get_policy("lottery")
+
+    def test_get_policy_kwargs(self):
+        policy = get_policy("copy-budget", quantum_s=0.02,
+                            copy_s_per_packet=0.01)
+        assert policy.per_quantum == 2

@@ -112,6 +112,61 @@ class TestFileService:
             client.close()
             server.close()
 
+    def test_concurrent_request_rejected_with_busy_frame(self, service):
+        """A second client's request mid-bulk gets an explicit ``busy``
+        error frame (regression: it used to be silently swallowed by the
+        blast loops, hanging the client until its retries ran out)."""
+        server, client_a = service
+        # No busy retries: the first rejection surfaces immediately.
+        client_b = UdpFileClient(server.address, max_retries=1,
+                                 request_timeout_s=1.0)
+        errors = {}
+
+        def slow_write():
+            # Big enough that the server's blast-receive phase is still
+            # in flight when client B's request lands.
+            try:
+                client_a.write_file("slow.bin", bytes(512) * 1024)
+            except FileServiceError as exc:  # pragma: no cover - diagnostic
+                errors["a"] = exc
+
+        thread = threading.Thread(target=slow_write, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            saw_busy = False
+            while time.monotonic() < deadline and not saw_busy:
+                try:
+                    client_b.stat("data.bin")
+                except FileServiceError as exc:
+                    assert "busy" in str(exc)
+                    saw_busy = True
+            assert saw_busy, "server never rejected the concurrent request"
+            assert server.requests_rejected_busy >= 1
+        finally:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            client_b.close()
+        assert "a" not in errors
+        assert wait_for_file(server, "slow.bin") == bytes(512) * 1024
+
+    def test_busy_rejection_is_retryable(self, service):
+        """A patient client rides out the busy window and then succeeds."""
+        server, client_a = service
+        client_b = UdpFileClient(server.address)
+        thread = threading.Thread(
+            target=client_a.write_file, args=("w.bin", bytes(256) * 1024),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            assert client_b.stat("data.bin") == len(CONTENT)
+        finally:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            client_b.close()
+        assert wait_for_file(server, "w.bin") == bytes(256) * 1024
+
     def test_two_clients_sequential(self, service):
         server, client_a = service
         client_b = UdpFileClient(server.address)
