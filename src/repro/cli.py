@@ -13,6 +13,7 @@ lint      replint static analysis (determinism & protocol invariants)
 faults    fault-injection conformance matrix across DES and UDP
 serve     concurrent transfer service on one UDP endpoint
 loadgen   drive N concurrent clients (DES or loopback UDP)
+perf      microbenchmark suites + fastpath-vs-seed speedup report
 
 Examples
 --------
@@ -35,6 +36,8 @@ Examples
     python -m repro serve --once 16 --policy rr --report json
     python -m repro loadgen --clients 16 --arrivals poisson --report table
     python -m repro loadgen --mode udp --clients 3 --server 127.0.0.1:47000
+    python -m repro perf --out BENCH_fastpath.json
+    python -m repro perf --smoke --check benchmarks/results/perf_structure.txt
 
 The global ``--jobs N`` flag fans Monte Carlo work across ``N`` worker
 processes (``-1`` = one per CPU).  Seed sharding is deterministic, so
@@ -265,6 +268,38 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--workload-seed", type=int, default=0)
     loadgen.add_argument(
         "--report", choices=["json", "table", "none"], default="table"
+    )
+
+    perf = sub.add_parser(
+        "perf", help="microbenchmark suites (DES kernel, codec, end-to-end)"
+    )
+    perf.add_argument(
+        "--suite", metavar="NAMES", dest="perf_suites",
+        help="comma-separated suite names (default: all; see --list-suites)",
+    )
+    perf.add_argument(
+        "--smoke", action="store_true",
+        help="reduced iteration counts for CI (digests are unchanged)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repeats (default: 3)",
+    )
+    perf.add_argument(
+        "--out", metavar="PATH",
+        help="write machine-readable timings (BENCH_fastpath.json)",
+    )
+    perf.add_argument(
+        "--ledger", metavar="PATH",
+        help="write the byte-stable structure ledger to PATH",
+    )
+    perf.add_argument(
+        "--check", metavar="PATH",
+        help="diff this run's structure rows against a golden ledger",
+    )
+    perf.add_argument(
+        "--list-suites", action="store_true",
+        help="list suite names and exit",
     )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
@@ -550,6 +585,20 @@ def _cmd_loadgen(args) -> int:
     return 0 if result.all_ok else 1
 
 
+def _cmd_perf(args) -> int:
+    from .perf.cli import perf_command
+
+    return perf_command(
+        suites=args.perf_suites,
+        smoke=args.smoke,
+        repeats=args.repeats,
+        out=args.out,
+        ledger=args.ledger,
+        check=args.check,
+        list_suites=args.list_suites,
+    )
+
+
 def _cmd_moveto(args) -> int:
     from .sim import Environment
     from .simnet import BernoulliErrors, NetworkParams, make_lan
@@ -598,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

@@ -52,7 +52,7 @@ class FrameKind(IntEnum):
     CONTROL = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataFrame:
     """One data packet of a transfer.
 
@@ -94,7 +94,7 @@ class DataFrame:
         return self.seq == self.total - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame:
     """Positive acknowledgement of packet ``seq`` (or a whole blast)."""
 
@@ -116,7 +116,7 @@ class AckFrame:
         return FrameKind.ACK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NakFrame:
     """Negative acknowledgement with the receiver's reception report."""
 
@@ -146,7 +146,7 @@ class NakFrame:
         return FrameKind.NAK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlFrame:
     """A small request/response message for application protocols.
 

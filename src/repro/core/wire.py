@@ -37,8 +37,8 @@ observation that the acknowledgement frame has room for a full report.
 from __future__ import annotations
 
 import struct
-import zlib
 from typing import Union
+from zlib import crc32
 
 from .frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
 
@@ -65,6 +65,23 @@ HEADER2_BYTES = _HEADER2.size + _CRC.size
 
 _FLAG_WANTS_REPLY = 0x01
 
+#: ``kind`` byte → :class:`FrameKind`, precomputed so the decode hot path
+#: pays one dict probe instead of the enum constructor's try/except.
+_KIND_BY_CODE = {int(kind): kind for kind in FrameKind}
+
+# Wire integers hoisted out of the enum: FrameKind attribute access goes
+# through Enum's metaclass machinery, too slow for the encode hot path.
+_KIND_DATA = int(FrameKind.DATA)
+_KIND_ACK = int(FrameKind.ACK)
+_KIND_NAK = int(FrameKind.NAK)
+_KIND_CONTROL = int(FrameKind.CONTROL)
+
+_MAGIC_HI = MAGIC >> 8
+_MAGIC_LO = MAGIC & 0xFF
+_SEQ_V1_OFFSET = 8
+_SEQ_V2_OFFSET = 12
+_SEQ = struct.Struct(">I")
+
 Frame = Union[DataFrame, AckFrame, NakFrame, ControlFrame]
 
 
@@ -73,34 +90,59 @@ class WireError(ValueError):
 
 
 def _bitmap_from_missing(missing, total: int) -> bytes:
-    bitmap = bytearray((total + 7) // 8)
+    # One big int instead of per-byte bytearray stores: bit ``seq`` of a
+    # little-endian integer lands in byte ``seq // 8`` at position
+    # ``seq % 8`` — exactly the wire layout.
+    bits = 0
     for seq in missing:
-        bitmap[seq // 8] |= 1 << (seq % 8)
-    return bytes(bitmap)
+        bits |= 1 << seq
+    return bits.to_bytes((total + 7) // 8, "little")
 
 
-def _missing_from_bitmap(bitmap: bytes, total: int) -> tuple:
+#: byte value → positions of its set bits, so the bitmap walk never
+#: shifts or masks: one table probe per nonzero byte.
+_BITS_IN_BYTE = tuple(
+    tuple(bit for bit in range(8) if value & (1 << bit)) for value in range(256)
+)
+
+
+def _missing_from_bitmap(bitmap, total: int) -> tuple:
+    # Byte-at-a-time with a skip for zero bytes: reception reports are
+    # sparse (a handful of drops in a 512-packet blast), so most of the
+    # bitmap is zeros and never reaches the per-bit work.
     missing = []
-    for seq in range(total):
-        if bitmap[seq // 8] & (1 << (seq % 8)):
-            missing.append(seq)
+    append = missing.append
+    n_bytes = (total + 7) // 8
+    for index in range(n_bytes):
+        byte = bitmap[index]
+        if not byte:
+            continue
+        base = index << 3
+        for bit in _BITS_IN_BYTE[byte]:
+            seq = base + bit
+            if seq < total:
+                append(seq)
     return tuple(missing)
 
 
 def _frame_fields(frame: Frame):
-    """Common field extraction shared by both header versions."""
+    """Common field extraction shared by both header versions.
+
+    ``kind`` comes back as the wire integer, not the enum member, so
+    :func:`encode` packs it without an ``int()`` round trip.
+    """
     if isinstance(frame, DataFrame):
-        kind, seq, total, payload = FrameKind.DATA, frame.seq, frame.total, frame.payload
+        kind, seq, total, payload = _KIND_DATA, frame.seq, frame.total, frame.payload
         flags = _FLAG_WANTS_REPLY if frame.wants_reply else 0
     elif isinstance(frame, AckFrame):
-        kind, seq, total, payload, flags = FrameKind.ACK, frame.seq, 0, b"", 0
+        kind, seq, total, payload, flags = _KIND_ACK, frame.seq, 0, b"", 0
     elif isinstance(frame, NakFrame):
-        kind = FrameKind.NAK
+        kind = _KIND_NAK
         seq, total = frame.first_missing, frame.total
         payload = _bitmap_from_missing(frame.missing, frame.total)
         flags = 0
     elif isinstance(frame, ControlFrame):
-        kind = FrameKind.CONTROL
+        kind = _KIND_CONTROL
         seq, total, payload, flags = frame.request_id, 0, frame.body, 0
     else:
         raise TypeError(f"cannot encode {frame!r}")
@@ -117,17 +159,22 @@ def encode(frame: Frame) -> bytes:
     the version-2 header that carries it.
     """
     kind, seq, total, payload, flags = _frame_fields(frame)
+    # The CRC runs incrementally (header, then payload) so no
+    # header+payload scratch string is ever built; the only payload copy
+    # is the one into the returned datagram.  Allocation-free per-frame
+    # state keeps this safe from any thread (the service load generator
+    # encodes concurrently).
     if frame.stream_id == 0:
         header = _HEADER.pack(
-            MAGIC, VERSION, int(kind), frame.transfer_id, seq, total, flags,
+            MAGIC, VERSION, kind, frame.transfer_id, seq, total, flags,
             len(payload),
         )
     else:
         header = _HEADER2.pack(
-            MAGIC, VERSION_STREAM, int(kind), frame.stream_id, frame.transfer_id,
+            MAGIC, VERSION_STREAM, kind, frame.stream_id, frame.transfer_id,
             seq, total, flags, len(payload),
         )
-    crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+    crc = crc32(payload, crc32(header)) & 0xFFFFFFFF
     return header + _CRC.pack(crc) + payload
 
 
@@ -143,20 +190,19 @@ def peek(datagram: bytes):
     """
     if len(datagram) < _HEADER.size:
         return None, None
-    magic, version, kind_raw = struct.unpack(">HBB", datagram[:4])
-    if magic != MAGIC:
+    if datagram[0] != _MAGIC_HI or datagram[1] != _MAGIC_LO:
         return None, None
+    version = datagram[2]
     if version == VERSION:
-        (seq,) = struct.unpack(">I", datagram[8:12])
+        (seq,) = _SEQ.unpack_from(datagram, _SEQ_V1_OFFSET)
     elif version == VERSION_STREAM:
         if len(datagram) < _HEADER2.size:
             return None, None
-        (seq,) = struct.unpack(">I", datagram[12:16])
+        (seq,) = _SEQ.unpack_from(datagram, _SEQ_V2_OFFSET)
     else:
         return None, None
-    try:
-        kind = FrameKind(kind_raw)
-    except ValueError:
+    kind = _KIND_BY_CODE.get(datagram[3])
+    if kind is None:
         return None, None
     return kind, seq
 
@@ -169,42 +215,47 @@ def decode(datagram: bytes) -> Frame:
     corrupted datagram exactly like a lost one.  Both header versions
     decode; version-1 frames come back with ``stream_id == 0``.
     """
-    if len(datagram) < HEADER_BYTES:
-        raise WireError(f"datagram too short: {len(datagram)} bytes")
-    magic, version = struct.unpack(">HB", datagram[:3])
-    if magic != MAGIC:
+    size = len(datagram)
+    if size < HEADER_BYTES:
+        raise WireError(f"datagram too short: {size} bytes")
+    if datagram[0] != _MAGIC_HI or datagram[1] != _MAGIC_LO:
+        magic = (datagram[0] << 8) | datagram[1]
         raise WireError(f"bad magic {magic:#06x}")
-    if version == VERSION:
-        header_struct, header_bytes = _HEADER, HEADER_BYTES
-    elif version == VERSION_STREAM:
-        header_struct, header_bytes = _HEADER2, HEADER2_BYTES
-        if len(datagram) < header_bytes:
-            raise WireError(f"datagram too short: {len(datagram)} bytes")
-    else:
-        raise WireError(f"unsupported version {version}")
-    header = datagram[: header_struct.size]
+    version = datagram[2]
+    # Fields read in place with ``unpack_from`` — no header slice, and
+    # the CRC runs incrementally over two memoryview windows instead of
+    # a header+payload concatenation.
     if version == VERSION:
         _magic, _version, kind_raw, xfer, seq, total, flags, length = (
-            header_struct.unpack(header)
+            _HEADER.unpack_from(datagram, 0)
         )
         stream = 0
-    else:
+        header_size, header_bytes = _HEADER.size, HEADER_BYTES
+    elif version == VERSION_STREAM:
+        if size < HEADER2_BYTES:
+            raise WireError(f"datagram too short: {size} bytes")
         _magic, _version, kind_raw, stream, xfer, seq, total, flags, length = (
-            header_struct.unpack(header)
+            _HEADER2.unpack_from(datagram, 0)
         )
         if stream == 0:
             raise WireError("version-2 frame with stream 0 (must encode as v1)")
-    (crc_stated,) = _CRC.unpack(datagram[header_struct.size : header_bytes])
-    payload = datagram[header_bytes:]
-    if len(payload) != length:
-        raise WireError(f"length field {length} != payload {len(payload)}")
-    crc_actual = zlib.crc32(header + payload) & 0xFFFFFFFF
+        header_size, header_bytes = _HEADER2.size, HEADER2_BYTES
+    else:
+        raise WireError(f"unsupported version {version}")
+    (crc_stated,) = _CRC.unpack_from(datagram, header_size)
+    if size - header_bytes != length:
+        raise WireError(f"length field {length} != payload {size - header_bytes}")
+    view = memoryview(datagram)
+    crc_actual = crc32(view[header_bytes:], crc32(view[:header_size])) & 0xFFFFFFFF
     if crc_actual != crc_stated:
         raise WireError(f"CRC mismatch: {crc_actual:#x} != {crc_stated:#x}")
-    try:
-        kind = FrameKind(kind_raw)
-    except ValueError as exc:
-        raise WireError(f"unknown frame kind {kind_raw}") from exc
+    kind = _KIND_BY_CODE.get(kind_raw)
+    if kind is None:
+        raise WireError(f"unknown frame kind {kind_raw}")
+    # Payload materialises to owned bytes exactly once: callers may hand
+    # in a memoryview over a reusable receive buffer, and frames must
+    # not alias storage that the next recv overwrites.
+    payload = bytes(view[header_bytes:])
 
     try:
         if kind is FrameKind.DATA:
@@ -214,12 +265,12 @@ def decode(datagram: bytes) -> Frame:
                 total=total,
                 payload=payload,
                 wants_reply=bool(flags & _FLAG_WANTS_REPLY),
-                wire_bytes=len(datagram),
+                wire_bytes=size,
                 stream_id=stream,
             )
         if kind is FrameKind.ACK:
             return AckFrame(
-                transfer_id=xfer, seq=seq, wire_bytes=len(datagram),
+                transfer_id=xfer, seq=seq, wire_bytes=size,
                 stream_id=stream,
             )
         if kind is FrameKind.CONTROL:
@@ -227,7 +278,7 @@ def decode(datagram: bytes) -> Frame:
                 transfer_id=xfer,
                 request_id=seq,
                 body=payload,
-                wire_bytes=len(datagram),
+                wire_bytes=size,
                 stream_id=stream,
             )
         missing = _missing_from_bitmap(payload, total)
@@ -236,7 +287,7 @@ def decode(datagram: bytes) -> Frame:
             first_missing=seq,
             missing=missing,
             total=total,
-            wire_bytes=len(datagram),
+            wire_bytes=size,
             stream_id=stream,
         )
     except (ValueError, IndexError) as exc:

@@ -298,6 +298,29 @@ class FaultySocket:
         self._ready.extend(self._recv_held.overtaken())
         return datagram, sender
 
+    def recvfrom_into(self, buffer, nbytes: int = 0):
+        """Receive one datagram into ``buffer``; returns ``(count, sender)``.
+
+        With no plan and nothing held this delegates straight to the
+        kernel's ``recvfrom_into`` — zero allocation per datagram, the
+        endpoint receive-loop fast path.  A plan (or held/ready traffic)
+        falls back to :meth:`recvfrom`, whose queue bookkeeping needs
+        owned byte strings, and copies the result in.
+        """
+        if (
+            self.executor is None
+            and not self._ready
+            and not self._send_held
+            and not self._recv_held
+        ):
+            count, sender = self._sock.recvfrom_into(buffer, nbytes)
+            self.datagrams_received += 1
+            return count, sender
+        datagram, sender = self.recvfrom(nbytes or len(buffer))
+        count = len(datagram)
+        buffer[:count] = datagram
+        return count, sender
+
     # -- plumbing -----------------------------------------------------------
     def settimeout(self, timeout: Optional[float]) -> None:
         self._timeout = timeout

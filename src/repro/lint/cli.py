@@ -38,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="replint: determinism & protocol-invariant linter "
-        "(rules REP101-REP109)",
+        "(rules REP101-REP110)",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",

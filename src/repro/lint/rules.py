@@ -1,4 +1,4 @@
-"""replint rule families REP101–REP107 and REP109 (single-file AST rules).
+"""replint rule families REP101–REP107, REP109 and REP110 (single-file AST rules).
 
 Every rule is a pluggable class with an ``id``, ``severity``,
 ``fix_hint`` and a one-line ``title``; :func:`all_rules` returns one
@@ -11,7 +11,9 @@ engine documents: experiment output must be byte-identical for any
 worker count, any platform, and any ``PYTHONHASHSEED`` — so RNGs are
 always seeded, simulated code never reads the wall clock, hot paths
 never iterate hash-ordered collections, and work shipped to worker
-processes must pickle by reference.
+processes must pickle by reference.  REP110 guards the perf contract
+instead: ``__slots__`` classes on the kernel hot path must not grow
+ad-hoc attributes outside ``__init__``.
 """
 
 from __future__ import annotations
@@ -597,8 +599,215 @@ class BlockingServiceCallRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# REP110 — attribute creation outside __init__ in __slots__ classes
+# ---------------------------------------------------------------------------
+
+def _literal_slot_names(value) -> Optional[frozenset]:
+    """Statically evaluate a ``__slots__`` assignment; None if dynamic."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return frozenset((value.value,))
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        names = []
+        for element in value.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            names.append(element.value)
+        return frozenset(names)
+    return None
+
+
+def _is_dataclass_slots(classdef: ast.ClassDef) -> bool:
+    """True for ``@dataclass(..., slots=True)`` (Name or dotted form)."""
+    for decorator in classdef.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+class _SlottedClass:
+    """What REP110 knows about one class definition."""
+
+    def __init__(self, classdef: ast.ClassDef):
+        self.node = classdef
+        self.slots: Optional[frozenset] = None
+        self.ctor_attrs: set = set()
+        self.bases: List[Optional[str]] = [
+            base.id if isinstance(base, ast.Name) else None
+            for base in classdef.bases
+        ]
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    self.slots = _literal_slot_names(stmt.value)
+        if self.slots is None and _is_dataclass_slots(classdef):
+            # ``@dataclass(slots=True)``: the annotated fields become the
+            # slots the decorator synthesises.
+            self.slots = frozenset(
+                stmt.target.id
+                for stmt in classdef.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            )
+
+
+class SlotsDisciplineRule(Rule):
+    """The kernel's hot classes declare ``__slots__``; creating an
+    attribute that is not a declared slot raises ``AttributeError`` at
+    runtime, and doing it outside ``__init__`` means only some code path
+    hits the crash.  A class opts back into ad-hoc attributes by listing
+    ``"__dict__"`` in its slots (the Environment does, for substrate
+    registries).  Classes whose base chain leaves this file — or has any
+    un-slotted link — are skipped: their instances may own a ``__dict__``
+    the analysis cannot see.
+    """
+
+    id = "REP110"
+    severity = "error"
+    title = "attribute created outside __init__ in a __slots__ class"
+    fix_hint = (
+        "declare the attribute in __slots__ and assign it in __init__ "
+        "(or add \"__dict__\" to __slots__ to opt into ad-hoc attributes)"
+    )
+
+    _SCOPES = ("sim", "core")
+    _CTOR_METHODS = frozenset(("__init__", "__post_init__", "__new__"))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not any(ctx.in_dir(scope) for scope in self._SCOPES):
+            return
+        classes = {
+            stmt.name: _SlottedClass(stmt)
+            for stmt in ctx.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        for record in classes.values():
+            self._collect_ctor_attrs(record)
+        for name, record in classes.items():
+            allowed = self._resolve_allowed(name, classes, set())
+            if allowed is None:
+                continue
+            yield from self._check_class(ctx, record, allowed)
+
+    def _collect_ctor_attrs(self, record: _SlottedClass) -> None:
+        """Names assigned on ``self`` inside the class's constructors."""
+        for stmt in record.node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in self._CTOR_METHODS
+            ):
+                record.ctor_attrs.update(self._self_assignments(stmt))
+
+    def _resolve_allowed(
+        self, name: str, classes: Dict[str, _SlottedClass], seen: set
+    ) -> Optional[frozenset]:
+        """Slot + constructor-assigned names over the in-file base chain.
+
+        Returns None — meaning "do not check this class" — when any link
+        of the chain is unresolvable, un-slotted, or declares
+        ``__dict__``.
+        """
+        if name in seen:  # inheritance cycle: only in broken code
+            return None
+        seen.add(name)
+        record = classes.get(name)
+        if record is None or record.slots is None or "__dict__" in record.slots:
+            return None
+        allowed = set(record.slots) | record.ctor_attrs
+        for base in record.bases:
+            if base == "object":
+                continue
+            if base is None:
+                return None
+            inherited = self._resolve_allowed(base, classes, seen)
+            if inherited is None:
+                return None
+            allowed |= inherited
+        return frozenset(allowed)
+
+    def _check_class(
+        self, ctx: FileContext, record: _SlottedClass, allowed: frozenset
+    ) -> Iterator[Violation]:
+        for stmt in record.node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in self._CTOR_METHODS:
+                continue
+            if any(
+                isinstance(decorator, ast.Name)
+                and decorator.id in ("staticmethod", "classmethod")
+                for decorator in stmt.decorator_list
+            ):
+                continue
+            for node, attr in self._self_assignment_nodes(stmt):
+                if attr not in allowed:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"self.{attr} created in "
+                        f"{record.node.name}.{stmt.name}() is not in "
+                        "__slots__ and is never assigned in __init__",
+                    )
+
+    @classmethod
+    def _self_assignments(cls, method) -> set:
+        return {attr for _node, attr in cls._self_assignment_nodes(method)}
+
+    @staticmethod
+    def _self_assignment_nodes(method):
+        """``(node, name)`` for every ``self.name = ...`` in ``method``."""
+        args = method.args.posonlyargs + method.args.args
+        if not args:
+            return
+        self_name = args[0].arg
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets = []
+                for target in node.targets:
+                    targets.extend(
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    yield target, target.attr
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP109 in order."""
+    """One instance of every replint rule, REP101..REP110 in order."""
     from .protocol import ProtocolExhaustivenessRule
 
     return [
@@ -611,6 +820,7 @@ def all_rules() -> List[Rule]:
         DefensiveDefaultsRule(),
         ProtocolExhaustivenessRule(),
         BlockingServiceCallRule(),
+        SlotsDisciplineRule(),
     ]
 
 

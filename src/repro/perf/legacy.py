@@ -1,0 +1,411 @@
+"""Frozen snapshot of the pre-optimization (seed) kernel and codec.
+
+This module is the *baseline* half of every A/B microbenchmark: it is a
+faithful, self-contained copy of ``repro.sim`` (events, environment,
+processes) and ``repro.core.wire`` exactly as they stood before the
+fastpath PR, so ``repro perf`` can always report "events/sec versus the
+pre-PR kernel" — on any machine, at any later commit — without checking
+out old history.
+
+Do **not** optimize this module.  Its whole value is staying slow in
+exactly the old way.  The only permitted edits are bug-for-bug fixes
+that keep it behaviourally identical to the seed (the perf suites
+assert digest equality between this kernel and the live one on every
+run).
+
+The classes are namespaced (``LegacyEnvironment`` etc.) but keep the
+seed's internal layout: dict-backed instances, property indirection on
+the hot path, ``heapq`` module-attribute lookups, and the
+slice-and-concatenate codec.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+import zlib
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..core.frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
+from ..core.wire import MAGIC, WireError
+
+__all__ = [
+    "LegacyEnvironment",
+    "LegacyEvent",
+    "LegacyTimeout",
+    "LegacyProcess",
+    "legacy_encode",
+    "legacy_decode",
+]
+
+
+class _PendingType:
+    _instance: Optional["_PendingType"] = None
+
+    def __new__(cls) -> "_PendingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+_PENDING = _PendingType()
+
+_NORMAL = 1
+_URGENT = 0
+
+
+class _StopSimulation(Exception):
+    pass
+
+
+class _EmptySchedule(Exception):
+    pass
+
+
+class LegacyEvent:
+    """Seed ``Event``: dict-backed, list-allocating, property-guarded."""
+
+    def __init__(self, env: "LegacyEnvironment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["LegacyEvent"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "LegacyEvent":
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["LegacyEvent"], None]) -> None:
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class LegacyTimeout(LegacyEvent):
+    """Seed ``Timeout``: ``super().__init__`` chain plus ``env.schedule``."""
+
+    def __init__(self, env: "LegacyEnvironment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class _LegacyInitialize(LegacyEvent):
+    def __init__(self, env: "LegacyEnvironment", process: "LegacyProcess"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, priority=True)
+
+
+class LegacyProcess(LegacyEvent):
+    """Seed ``Process``: generator driver with per-resume housekeeping."""
+
+    def __init__(self, env: "LegacyEnvironment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[LegacyEvent] = _LegacyInitialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def _resume(self, event: LegacyEvent) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, LegacyEvent):
+                self._target = None
+                env._active_process = None
+                raise TypeError(
+                    f"process yielded {next_event!r}; processes must yield events"
+                )
+
+            if next_event.callbacks is not None:
+                next_event.add_callback(self._resume)
+                self._target = next_event
+                break
+
+            event = next_event
+
+        env._active_process = None
+
+
+class LegacyEnvironment:
+    """Seed ``Environment``: the pre-fastpath run loop, verbatim.
+
+    ``step`` pays a method call, a ``heapq`` attribute lookup, an
+    ``assert`` and two underscore-attribute dict lookups per event;
+    ``run`` pays a Python-level ``try/except`` iteration around
+    ``self.step()``.  That is the per-event overhead the fastpath PR
+    removed — keep it.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, LegacyEvent]] = []
+        self._eid = count()
+        self._active_process: Optional[LegacyProcess] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> LegacyEvent:
+        return LegacyEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> LegacyTimeout:
+        return LegacyTimeout(self, delay, value)
+
+    def process(self, generator: Generator) -> LegacyProcess:
+        return LegacyProcess(self, generator)
+
+    def schedule(
+        self, event: LegacyEvent, delay: float = 0.0, priority: bool = False
+    ) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, _URGENT if priority else _NORMAL,
+             next(self._eid), event),
+        )
+
+    def step(self) -> None:
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise _EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            if isinstance(event._value, BaseException):
+                raise event._value
+            raise RuntimeError(f"event {event!r} failed with {event._value!r}")
+
+    def run(self, until: Any = None) -> Any:
+        stop: Optional[LegacyEvent] = None
+        if until is not None:
+            if isinstance(until, LegacyEvent):
+                stop = until
+                if stop.callbacks is None:
+                    return stop.value
+                stop.add_callback(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = LegacyEvent(self)
+                stop._value = None
+                stop.callbacks = [self._stop_callback]
+                heapq.heappush(self._queue, (at, _URGENT, -1, stop))
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as signal:
+            return signal.args[0] if signal.args else None
+        except _EmptySchedule:
+            if stop is not None and isinstance(until, LegacyEvent) and not stop.triggered:
+                raise RuntimeError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: LegacyEvent) -> None:
+        if event._ok:
+            raise _StopSimulation(event._value)
+        if isinstance(event._value, BaseException):
+            event._defused = True
+            raise event._value
+        raise _StopSimulation(event._value)
+
+
+# ---------------------------------------------------------------------------
+# Seed wire codec: struct slicing, try/except FrameKind, concatenation.
+# ---------------------------------------------------------------------------
+
+_VERSION = 1
+_VERSION_STREAM = 2
+_HEADER = struct.Struct(">HBBIIIBH")
+_HEADER2 = struct.Struct(">HBBIIIIBH")
+_CRC = struct.Struct(">I")
+_HEADER_BYTES = _HEADER.size + _CRC.size
+_HEADER2_BYTES = _HEADER2.size + _CRC.size
+_FLAG_WANTS_REPLY = 0x01
+
+
+def _bitmap_from_missing(missing, total: int) -> bytes:
+    bitmap = bytearray((total + 7) // 8)
+    for seq in missing:
+        bitmap[seq // 8] |= 1 << (seq % 8)
+    return bytes(bitmap)
+
+
+def _missing_from_bitmap(bitmap: bytes, total: int) -> tuple:
+    # Seed shape: tests every bit, even in all-zero bytes.
+    missing = []
+    for seq in range(total):
+        if bitmap[seq // 8] & (1 << (seq % 8)):
+            missing.append(seq)
+    return tuple(missing)
+
+
+def _frame_fields(frame):
+    if isinstance(frame, DataFrame):
+        kind, seq, total, payload = FrameKind.DATA, frame.seq, frame.total, frame.payload
+        flags = _FLAG_WANTS_REPLY if frame.wants_reply else 0
+    elif isinstance(frame, AckFrame):
+        kind, seq, total, payload, flags = FrameKind.ACK, frame.seq, 0, b"", 0
+    elif isinstance(frame, NakFrame):
+        kind = FrameKind.NAK
+        seq, total = frame.first_missing, frame.total
+        payload = _bitmap_from_missing(frame.missing, frame.total)
+        flags = 0
+    elif isinstance(frame, ControlFrame):
+        kind = FrameKind.CONTROL
+        seq, total, payload, flags = frame.request_id, 0, frame.body, 0
+    else:
+        raise TypeError(f"cannot encode {frame!r}")
+    if len(payload) > 0xFFFF:
+        raise WireError(f"payload too large for wire format: {len(payload)}")
+    return kind, seq, total, payload, flags
+
+
+def legacy_encode(frame) -> bytes:
+    """Seed ``encode``: three intermediate byte strings per frame."""
+    kind, seq, total, payload, flags = _frame_fields(frame)
+    if frame.stream_id == 0:
+        header = _HEADER.pack(
+            MAGIC, _VERSION, int(kind), frame.transfer_id, seq, total, flags,
+            len(payload),
+        )
+    else:
+        header = _HEADER2.pack(
+            MAGIC, _VERSION_STREAM, int(kind), frame.stream_id, frame.transfer_id,
+            seq, total, flags, len(payload),
+        )
+    crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+    return header + _CRC.pack(crc) + payload
+
+
+def legacy_decode(datagram: bytes):
+    """Seed ``decode``: header slices, payload slice, try/except kind."""
+    if len(datagram) < _HEADER_BYTES:
+        raise WireError(f"datagram too short: {len(datagram)} bytes")
+    magic, version = struct.unpack(">HB", datagram[:3])
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic:#06x}")
+    if version == _VERSION:
+        header_struct, header_bytes = _HEADER, _HEADER_BYTES
+    elif version == _VERSION_STREAM:
+        header_struct, header_bytes = _HEADER2, _HEADER2_BYTES
+        if len(datagram) < header_bytes:
+            raise WireError(f"datagram too short: {len(datagram)} bytes")
+    else:
+        raise WireError(f"unsupported version {version}")
+    header = datagram[: header_struct.size]
+    if version == _VERSION:
+        _magic, _version, kind_raw, xfer, seq, total, flags, length = (
+            header_struct.unpack(header)
+        )
+        stream = 0
+    else:
+        _magic, _version, kind_raw, stream, xfer, seq, total, flags, length = (
+            header_struct.unpack(header)
+        )
+        if stream == 0:
+            raise WireError("version-2 frame with stream 0 (must encode as v1)")
+    (crc_stated,) = _CRC.unpack(datagram[header_struct.size : header_bytes])
+    payload = datagram[header_bytes:]
+    if len(payload) != length:
+        raise WireError(f"length field {length} != payload {len(payload)}")
+    crc_actual = zlib.crc32(header + payload) & 0xFFFFFFFF
+    if crc_actual != crc_stated:
+        raise WireError(f"CRC mismatch: {crc_actual:#x} != {crc_stated:#x}")
+    try:
+        kind = FrameKind(kind_raw)
+    except ValueError as exc:
+        raise WireError(f"unknown frame kind {kind_raw}") from exc
+
+    try:
+        if kind is FrameKind.DATA:
+            return DataFrame(
+                transfer_id=xfer,
+                seq=seq,
+                total=total,
+                payload=payload,
+                wants_reply=bool(flags & _FLAG_WANTS_REPLY),
+                wire_bytes=len(datagram),
+                stream_id=stream,
+            )
+        if kind is FrameKind.ACK:
+            return AckFrame(
+                transfer_id=xfer, seq=seq, wire_bytes=len(datagram),
+                stream_id=stream,
+            )
+        if kind is FrameKind.CONTROL:
+            return ControlFrame(
+                transfer_id=xfer,
+                request_id=seq,
+                body=payload,
+                wire_bytes=len(datagram),
+                stream_id=stream,
+            )
+        missing = _missing_from_bitmap(payload, total)
+        return NakFrame(
+            transfer_id=xfer,
+            first_missing=seq,
+            missing=missing,
+            total=total,
+            wire_bytes=len(datagram),
+            stream_id=stream,
+        )
+    except (ValueError, IndexError) as exc:
+        raise WireError(f"inconsistent frame fields: {exc}") from exc

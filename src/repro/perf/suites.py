@@ -1,0 +1,408 @@
+"""The ``repro perf`` suites: what is timed, and what must never change.
+
+Each :class:`Suite` couples a *timing recipe* (how many operations, how
+the hot path is driven) with a *canonical digest* (a byte-stable proof
+that the path under test still produces the seed kernel's output).  Two
+suites additionally run the frozen baseline from :mod:`.legacy` with
+the **same harness**, giving an honest A/B "speedup versus the pre-PR
+kernel" on whatever machine the suite runs:
+
+``des_events``
+    Pure kernel churn: batches of timeouts scheduled and drained
+    through ``Environment.run`` — the cost of one simulated packet's
+    bookkeeping, with no protocol logic on top.  A/B against
+    ``LegacyEnvironment``.
+``des_process``
+    A generator process yielding timeouts: adds the resume path
+    (``Process._resume``) that every protocol engine exercises.  A/B.
+``codec_encode`` / ``codec_decode``
+    The canonical frame mix through ``wire.encode`` / ``wire.decode``.
+    A/B against the seed slice-and-concatenate codec.
+``conformance_cell``
+    One end-to-end DES conformance cell (blast × selective ×
+    ``dup+reorder``) — wall clock of real protocol work.
+``service_run``
+    A 8-stream DES service run through the scheduler/engine stack.
+
+Iteration counts scale with the mode (``smoke`` for CI, ``full`` for
+the recorded trajectory) but canonical digests never do — the structure
+ledger is byte-identical for both modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import legacy, workloads
+
+__all__ = ["Suite", "SuiteResult", "SUITES", "run_suites", "suite_names"]
+
+#: Timeouts scheduled per drain in the DES suites.  Matched to the heap
+#: depths real runs produce (a transfer in flight holds tens of pending
+#: timeouts and frame events, not thousands) so the measured mix of
+#: C-level heap work and Python-level dispatch reflects actual runs.
+DES_BATCH = 64
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One named benchmark: a timing recipe plus its determinism proof."""
+
+    name: str
+    ops_full: int
+    ops_smoke: int
+    timed: Callable[[int], float]
+    digest: Callable[[], str]
+    canonical_ops: int
+    baseline: Optional[Callable[[int], float]] = None
+    check: Optional[Callable[[], None]] = None
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Measured outcome of one suite (timings are machine-dependent)."""
+
+    name: str
+    iterations: int
+    repeats: int
+    best_s: float
+    ops_per_s: float
+    digest: str
+    canonical_ops: int
+    baseline_best_s: Optional[float] = None
+    baseline_ops_per_s: Optional[float] = None
+    speedup_vs_baseline: Optional[float] = None
+
+    def ledger_line(self) -> str:
+        """The byte-stable structure row (no timings, no machine facts)."""
+        return (
+            f"{self.name} canonical_ops={self.canonical_ops} "
+            f"digest={self.digest}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# DES kernel suites
+# ---------------------------------------------------------------------------
+
+def _time_des_events(environment_cls, n: int) -> float:
+    env = environment_cls()
+    timeout = env.timeout
+    run = env.run
+    start = perf_counter()
+    done = 0
+    while done < n:
+        m = DES_BATCH if n - done > DES_BATCH else n - done
+        for _ in range(m):
+            timeout(0.001)
+        run()
+        done += m
+    return perf_counter() - start
+
+
+def _des_events(n: int) -> float:
+    from ..sim import Environment
+
+    return _time_des_events(Environment, n)
+
+
+def _des_events_baseline(n: int) -> float:
+    return _time_des_events(legacy.LegacyEnvironment, n)
+
+
+def _time_des_process(environment_cls, n: int) -> float:
+    env = environment_cls()
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    proc = env.process(ticker(env, n))
+    start = perf_counter()
+    env.run(proc)
+    return perf_counter() - start
+
+
+def _des_process(n: int) -> float:
+    from ..sim import Environment
+
+    return _time_des_process(Environment, n)
+
+
+def _des_process_baseline(n: int) -> float:
+    return _time_des_process(legacy.LegacyEnvironment, n)
+
+
+def _kernel_digest_live() -> str:
+    return workloads.kernel_digest()
+
+
+def _kernel_check() -> None:
+    live = workloads.kernel_digest()
+    seed = workloads.kernel_digest(legacy.LegacyEnvironment)
+    if live != seed:
+        raise AssertionError(
+            f"fastpath kernel diverged from the seed kernel: {live} != {seed}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Wire codec suites
+# ---------------------------------------------------------------------------
+
+def _time_codec_encode(encoder, n: int) -> float:
+    frames = workloads.canonical_frames()
+    n_frames = len(frames)
+    rounds = max(1, n // n_frames)
+    start = perf_counter()
+    for _ in range(rounds):
+        for frame in frames:
+            encoder(frame)
+    return perf_counter() - start
+
+
+def _codec_encode(n: int) -> float:
+    from ..core.wire import encode
+
+    return _time_codec_encode(encode, n)
+
+
+def _codec_encode_baseline(n: int) -> float:
+    return _time_codec_encode(legacy.legacy_encode, n)
+
+
+def _time_codec_decode(decoder, n: int) -> float:
+    datagrams = workloads.canonical_datagrams()
+    n_datagrams = len(datagrams)
+    rounds = max(1, n // n_datagrams)
+    start = perf_counter()
+    for _ in range(rounds):
+        for datagram in datagrams:
+            decoder(datagram)
+    return perf_counter() - start
+
+
+def _codec_decode(n: int) -> float:
+    from ..core.wire import decode
+
+    return _time_codec_decode(decode, n)
+
+
+def _codec_decode_baseline(n: int) -> float:
+    return _time_codec_decode(legacy.legacy_decode, n)
+
+
+def _wire_digest_live() -> str:
+    return workloads.wire_digest(workloads.canonical_datagrams())
+
+
+def _wire_check() -> None:
+    live = workloads.canonical_datagrams()
+    seed = workloads.canonical_datagrams(legacy.legacy_encode)
+    if live != seed:
+        raise AssertionError("fastpath encode produced different bytes than seed")
+    from ..core.wire import decode
+
+    for datagram in live:
+        if decode(datagram) != legacy.legacy_decode(datagram):
+            raise AssertionError("fastpath decode disagrees with seed decode")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end suites
+# ---------------------------------------------------------------------------
+
+_CELL_PROTOCOL = "blast"
+_CELL_STRATEGY = "selective"
+_CELL_PLAN = "dup+reorder"
+_CELL_SEED = 7
+_CELL_SIZE = 8 * 1024 + 137
+
+
+def _conformance_cell_result() -> dict:
+    from ..faults.conformance import _run_cell_spec
+    from ..faults.plans import builtin_plan
+
+    plan = builtin_plan(_CELL_PLAN)
+    return _run_cell_spec(
+        ("des", _CELL_PROTOCOL, _CELL_STRATEGY, plan.to_json(), _CELL_SEED,
+         _CELL_SIZE)
+    )
+
+
+def _conformance_cell(n: int) -> float:
+    start = perf_counter()
+    for _ in range(n):
+        _conformance_cell_result()
+    return perf_counter() - start
+
+
+def _conformance_digest() -> str:
+    payload = json.dumps(_conformance_cell_result(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_SERVICE_STREAMS = 8
+
+
+def _service_result_json() -> str:
+    from ..service import ServiceConfig
+    from ..service.loadgen import run_des_loadgen
+
+    result = run_des_loadgen(
+        _SERVICE_STREAMS,
+        config=ServiceConfig(protocol="blast", policy="rr"),
+        sizes="fixed",
+        size_bytes=4096,
+        arrivals="uniform",
+        span_s=0.25,
+        workload_seed=3,
+    )
+    return result.report_json
+
+
+def _service_run(n: int) -> float:
+    start = perf_counter()
+    for _ in range(n):
+        _service_result_json()
+    return perf_counter() - start
+
+
+def _service_digest() -> str:
+    return hashlib.sha256(_service_result_json().encode()).hexdigest()
+
+
+SUITES: Dict[str, Suite] = {
+    suite.name: suite
+    for suite in (
+        Suite(
+            name="des_events",
+            ops_full=400_000,
+            ops_smoke=40_000,
+            timed=_des_events,
+            baseline=_des_events_baseline,
+            digest=_kernel_digest_live,
+            check=_kernel_check,
+            canonical_ops=workloads.CANONICAL_EVENTS,
+        ),
+        Suite(
+            name="des_process",
+            ops_full=400_000,
+            ops_smoke=40_000,
+            timed=_des_process,
+            baseline=_des_process_baseline,
+            digest=_kernel_digest_live,
+            check=_kernel_check,
+            canonical_ops=workloads.CANONICAL_EVENTS,
+        ),
+        Suite(
+            name="codec_encode",
+            ops_full=200_000,
+            ops_smoke=20_000,
+            timed=_codec_encode,
+            baseline=_codec_encode_baseline,
+            digest=_wire_digest_live,
+            check=_wire_check,
+            canonical_ops=len(workloads.canonical_frames()),
+        ),
+        Suite(
+            name="codec_decode",
+            ops_full=200_000,
+            ops_smoke=20_000,
+            timed=_codec_decode,
+            baseline=_codec_decode_baseline,
+            digest=_wire_digest_live,
+            check=_wire_check,
+            canonical_ops=len(workloads.canonical_frames()),
+        ),
+        Suite(
+            name="conformance_cell",
+            ops_full=10,
+            ops_smoke=2,
+            timed=_conformance_cell,
+            digest=_conformance_digest,
+            canonical_ops=1,
+        ),
+        Suite(
+            name="service_run",
+            ops_full=10,
+            ops_smoke=2,
+            timed=_service_run,
+            digest=_service_digest,
+            canonical_ops=_SERVICE_STREAMS,
+        ),
+    )
+}
+
+
+def suite_names() -> List[str]:
+    """Suite names in canonical (registration) order."""
+    return list(SUITES)
+
+
+def run_suites(
+    names: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    repeats: int = 3,
+) -> List[SuiteResult]:
+    """Run suites by name (default: all) and return measured results.
+
+    Each suite's digest ``check`` (fastpath-vs-seed equivalence) runs
+    before its timing loop — a perf number for a wrong kernel is
+    worthless, so divergence raises instead of reporting.
+    """
+    if names is None:
+        names = suite_names()
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        raise ValueError(
+            f"unknown suite(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(suite_names())}"
+        )
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    results: List[SuiteResult] = []
+    for name in names:
+        suite = SUITES[name]
+        if suite.check is not None:
+            suite.check()
+        ops = suite.ops_smoke if smoke else suite.ops_full
+        baseline_best: Optional[float] = None
+        if suite.baseline is None:
+            best = min(suite.timed(ops) for _ in range(repeats))
+        else:
+            # Interleave fastpath and baseline repeats (A/B/A/B) so CPU
+            # frequency drift and neighbour noise land on both sides of
+            # the ratio instead of corrupting one measurement window.
+            timed_samples: List[float] = []
+            baseline_samples: List[float] = []
+            for _ in range(repeats):
+                timed_samples.append(suite.timed(ops))
+                baseline_samples.append(suite.baseline(ops))
+            best = min(timed_samples)
+            baseline_best = min(baseline_samples)
+        best = max(best, 1e-12)
+        results.append(
+            SuiteResult(
+                name=name,
+                iterations=ops,
+                repeats=repeats,
+                best_s=best,
+                ops_per_s=ops / best,
+                digest=suite.digest(),
+                canonical_ops=suite.canonical_ops,
+                baseline_best_s=baseline_best,
+                baseline_ops_per_s=(
+                    None if baseline_best is None else ops / max(baseline_best, 1e-12)
+                ),
+                speedup_vs_baseline=(
+                    None if baseline_best is None else baseline_best / best
+                ),
+            )
+        )
+    return results

@@ -5,15 +5,23 @@ benches share.  It keeps simulated time as a float (seconds throughout
 this repository) and pops events in ``(time, priority, sequence)`` order,
 so same-time events process in FIFO order of scheduling, with urgent
 (priority) events — process initialisation and interrupts — first.
+
+This module is the kernel's hottest code: :meth:`Environment.run` inlines
+the pop/dispatch cycle of :meth:`Environment.step` with heap and clock
+bound to locals, and :meth:`Environment.timeout` builds the
+:class:`Timeout` with ``__new__`` plus direct stores, skipping
+``type.__call__``.  Both paths preserve the ``(time, priority, eid,
+event)`` tuple discipline exactly — the heap order, and therefore every
+trace and golden in the repository, is unchanged.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, StopSimulation, Timeout
+from .events import _NO_CALLBACKS, AllOf, AnyOf, Event, StopSimulation, Timeout
 from .processes import Process
 
 __all__ = ["Environment", "EmptySchedule"]
@@ -37,10 +45,26 @@ class Environment:
         Starting value of the simulated clock (default ``0.0``).
     """
 
+    # ``__dict__`` stays available: one environment exists per run and
+    # substrate layers (e.g. the V-kernel registry) annotate it; the
+    # named slots still win attribute resolution on the hot paths.
+    __slots__ = (
+        "_now", "_queue", "_eid", "_next_eid", "_stop_eid", "_active_process",
+        "__dict__",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
+        self._next_eid = self._eid.__next__
+        # Sentinel sequence numbers for the stop events of timed
+        # ``run(until=<number>)`` calls.  They start far below any real
+        # eid so a stop event still sorts ahead of same-time normal
+        # events, and each timed run draws a fresh value so a stale stop
+        # event left by an aborted run can never collide (tuple
+        # comparison would otherwise fall through to comparing Events).
+        self._stop_eid = count(-(2**63))
         self._active_process: Optional[Process] = None
 
     # -- clock ---------------------------------------------------------------
@@ -59,9 +83,35 @@ class Environment:
         """Create a fresh untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(
+        self,
+        delay: float,
+        value: Any = None,
+        # Underscored defaults bind module globals to fast locals; this
+        # is the kernel's hottest allocation site. Callers pass at most
+        # (delay, value).
+        _new=Timeout.__new__,
+        _cls=Timeout,
+        _no_callbacks=_NO_CALLBACKS,
+        _normal=_NORMAL,
+        _push=heappush,
+    ) -> Timeout:
+        """Create an event firing ``delay`` seconds from now.
+
+        Equivalent to ``Timeout(self, delay, value)`` but built with
+        direct stores, skipping ``type.__call__``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = _new(_cls)
+        event.env = self
+        event.callbacks = _no_callbacks
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = delay
+        _push(self._queue, (self._now + delay, _normal, self._next_eid(), event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new process driving ``generator``."""
@@ -78,9 +128,10 @@ class Environment:
     # -- scheduling / execution ------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
         """Place a triggered event on the heap ``delay`` seconds from now."""
-        heapq.heappush(
+        heappush(
             self._queue,
-            (self._now + delay, _URGENT if priority else _NORMAL, next(self._eid), event),
+            (self._now + delay, _URGENT if priority else _NORMAL,
+             self._next_eid(), event),
         )
 
     def peek(self) -> float:
@@ -90,12 +141,12 @@ class Environment:
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -127,11 +178,30 @@ class Environment:
                 stop = Event(self)
                 stop._value = None
                 stop.callbacks = [self._stop_callback]
-                heapq.heappush(self._queue, (at, _URGENT, -1, stop))
+                heappush(self._queue, (at, _URGENT, next(self._stop_eid), stop))
 
+        # Inlined step(): same pop/dispatch/failure-surface sequence, with
+        # the heap and pop bound to locals for the duration of the run.
+        queue = self._queue
+        pop = heappop
         try:
             while True:
-                self.step()
+                try:
+                    when, _, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    if isinstance(event._value, BaseException):
+                        raise event._value
+                    raise RuntimeError(
+                        f"event {event!r} failed with {event._value!r}"
+                    )
         except StopSimulation as signal:
             return signal.args[0] if signal.args else None
         except EmptySchedule:

@@ -57,6 +57,13 @@ class _PendingType:
 
 PENDING = _PendingType()
 
+#: Shared immutable "no callbacks registered yet" marker.  Freshly created
+#: events point at this singleton instead of allocating a list each —
+#: the common case for timeouts in a busy run loop is that nothing ever
+#: waits on them, so the list allocation is pure overhead.  The first
+#: :meth:`Event.add_callback` swaps in a real list.
+_NO_CALLBACKS: tuple = ()
+
 
 class StopSimulation(Exception):
     """Raised internally by :meth:`Environment.run` to end a run early."""
@@ -86,11 +93,17 @@ class Event:
     ----------
     env:
         The owning :class:`~repro.sim.environment.Environment`.
+
+    ``callbacks`` is the empty-tuple singleton until someone registers a
+    callback (then a list), and ``None`` once processed — all three states
+    iterate correctly in the environment's run loop.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks = _NO_CALLBACKS
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
@@ -123,7 +136,7 @@ class Event:
     # -- state transitions -------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = value
         self.env.schedule(self)
@@ -137,7 +150,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -161,10 +174,14 @@ class Event:
         If the event was already processed the callback runs immediately,
         which lets processes wait on events that fired in the past.
         """
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             callback(self)
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self.callbacks.append(callback)
+            # First waiter: promote the shared empty tuple to a real list.
+            self.callbacks = [callback]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = (
@@ -178,14 +195,24 @@ class Timeout(Event):
 
     Timeouts are triggered immediately on construction (their firing time
     is fixed), so they cannot be succeeded or failed manually.
+
+    Attributes are stored directly (no ``super().__init__`` chain): this
+    is the hottest allocation in the kernel, and
+    :meth:`Environment.timeout` additionally bypasses ``type.__call__``
+    via ``__new__``, so construction must stay a flat sequence of stores.
     """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self._delay = delay
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
+        self._ok = True
+        self._defused = False
+        self._delay = delay
         env.schedule(self, delay=delay)
 
     @property
@@ -207,6 +234,8 @@ class Condition(Event):
 
     If any child fails, the condition fails with the child's exception.
     """
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -250,12 +279,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Fires when the first of its child events fires."""
 
+    __slots__ = ()
+
     def evaluate(self, events: List[Event], count: int) -> bool:
         return count >= 1
 
 
 class AllOf(Condition):
     """Fires when every child event has fired."""
+
+    __slots__ = ()
 
     def evaluate(self, events: List[Event], count: int) -> bool:
         return count >= len(events)

@@ -33,10 +33,12 @@ __all__ = ["Process", "Initialize"]
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._value = None
-        self.callbacks = [process._resume]
+        self.callbacks = [process._bound_resume]
         env.schedule(self, priority=True)
 
 
@@ -47,11 +49,16 @@ class Process(Event):
     fails when the generator raises (value = the exception).
     """
 
+    __slots__ = ("_generator", "_target", "_bound_resume")
+
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Accessing ``self._resume`` builds a fresh bound method each
+        # time; the resume loop runs once per yield, so cache it.
+        self._bound_resume = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -97,7 +104,7 @@ class Process(Event):
             return
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._bound_resume)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._resume(event)
@@ -141,9 +148,15 @@ class Process(Event):
                 )
                 return
 
-            if next_event.callbacks is not None:
-                # Event still pending or scheduled: wait for it.
-                next_event.add_callback(self._resume)
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                # Event still pending or scheduled: wait for it.  This is
+                # add_callback inlined — one extra yield-resume cycle per
+                # simulated frame makes the method call worth removing.
+                if callbacks.__class__ is list:
+                    callbacks.append(self._bound_resume)
+                else:
+                    next_event.callbacks = [self._bound_resume]
                 self._target = next_event
                 break
 

@@ -29,6 +29,8 @@ __all__ = ["Resource", "Request"]
 class Request(Event):
     """A pending claim on a :class:`Resource`; fires when granted."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource

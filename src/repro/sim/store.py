@@ -24,6 +24,8 @@ __all__ = ["Store", "StorePut", "StoreGet"]
 class StorePut(Event):
     """Pending insertion into a :class:`Store`; fires when accepted."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -33,6 +35,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending removal from a :class:`Store`; fires with the item."""
+
+    __slots__ = ("predicate", "_store")
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None):
         super().__init__(store.env)

@@ -74,6 +74,10 @@ class UdpEndpoint:
         else:
             self.sock = LossySocket(raw, error_model)
         self.packet_bytes = packet_bytes
+        # One receive buffer per endpoint, reused by every recvfrom_into
+        # (endpoints are single-threaded receivers; 65536 covers any
+        # datagram the wire format can carry).
+        self._recv_buffer = bytearray(65536)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -99,6 +103,7 @@ class UdpEndpoint:
         time budget.
         """
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        buffer = self._recv_buffer
         while True:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -108,10 +113,12 @@ class UdpEndpoint:
             else:
                 self.sock.settimeout(None)
             try:
-                datagram, sender = self.sock.recvfrom(65536)
+                count, sender = self.sock.recvfrom_into(buffer)
             except socket.timeout:
                 return None
             try:
-                return decode(datagram), sender
+                # decode() copies the payload out, so handing it a view
+                # of the reusable buffer never aliases the next datagram.
+                return decode(memoryview(buffer)[:count]), sender
             except WireError:
                 continue  # corrupted: indistinguishable from a loss

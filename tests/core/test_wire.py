@@ -5,7 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import AckFrame, ControlFrame, DataFrame, NakFrame, WireError, decode, encode
-from repro.core.wire import HEADER2_BYTES, HEADER_BYTES
+from repro.core.frames import FrameKind
+from repro.core.wire import (
+    HEADER2_BYTES,
+    HEADER_BYTES,
+    _bitmap_from_missing,
+    _missing_from_bitmap,
+    peek,
+)
 
 
 class TestRoundTrips:
@@ -207,5 +214,100 @@ class TestCorruptionHandling:
         """Any single-bit corruption is caught (CRC-32 guarantees it)."""
         datagram = bytearray(encode(DataFrame(1, 0, 1, payload)))
         datagram[position % len(datagram)] ^= 1 << bit
+        with pytest.raises(WireError):
+            decode(bytes(datagram))
+
+
+class TestNakBitmap:
+    """The NAK bitmap fast path: table-driven parse, zero-byte skip."""
+
+    def test_all_missing_round_trip(self):
+        total = 512  # the paper's full-size blast: a 64-byte bitmap
+        nak = NakFrame(
+            11, first_missing=0, missing=tuple(range(total)), total=total
+        )
+        decoded = decode(encode(nak))
+        assert decoded.missing == tuple(range(total))
+        assert decoded.total == total
+
+    def test_none_missing_bitmap_is_all_zero(self):
+        assert _bitmap_from_missing((), 512) == bytes(64)
+        assert _missing_from_bitmap(bytes(64), 512) == ()
+
+    def test_all_missing_bitmap_is_all_ones(self):
+        bitmap = _bitmap_from_missing(tuple(range(512)), 512)
+        assert bitmap == b"\xff" * 64
+        assert _missing_from_bitmap(bitmap, 512) == tuple(range(512))
+
+    def test_padding_bits_beyond_total_are_ignored(self):
+        # total=10 occupies 2 bytes; the last 6 bits are padding and
+        # must not invent packet numbers >= total.
+        assert _missing_from_bitmap(b"\xff\xff", 10) == tuple(range(10))
+
+    def test_sparse_bitmap_round_trip(self):
+        missing = (0, 7, 8, 63, 300, 511)
+        bitmap = _bitmap_from_missing(missing, 512)
+        assert _missing_from_bitmap(bitmap, 512) == missing
+
+    @given(
+        total=st.integers(1, 512),
+        data=st.data(),
+    )
+    @settings(max_examples=150)
+    def test_bitmap_round_trip_property(self, total, data):
+        missing = tuple(
+            sorted(
+                data.draw(
+                    st.sets(st.integers(0, total - 1), min_size=0, max_size=total)
+                )
+            )
+        )
+        bitmap = _bitmap_from_missing(missing, total)
+        assert len(bitmap) == (total + 7) // 8
+        assert _missing_from_bitmap(bitmap, total) == missing
+
+
+class TestPeek:
+    """peek() classifies without CRC checks or payload parsing."""
+
+    def test_peek_every_kind_both_versions(self):
+        for stream in (0, 9):
+            frames = [
+                (DataFrame(1, 5, 8, b"x", stream_id=stream), FrameKind.DATA, 5),
+                (AckFrame(1, seq=7, stream_id=stream), FrameKind.ACK, 7),
+                (
+                    NakFrame(1, first_missing=2, missing=(2, 3), total=8,
+                             stream_id=stream),
+                    FrameKind.NAK,
+                    2,
+                ),
+                (
+                    ControlFrame(1, request_id=33, body=b"", stream_id=stream),
+                    FrameKind.CONTROL,
+                    33,
+                ),
+            ]
+            for frame, kind, seq in frames:
+                assert peek(encode(frame)) == (kind, seq)
+
+    def test_peek_rejects_short_and_foreign_datagrams(self):
+        assert peek(b"") == (None, None)
+        assert peek(b"\x00" * 4) == (None, None)
+        assert peek(b"not a protocol frame at all") == (None, None)
+
+    def test_peek_rejects_unknown_version_and_kind(self):
+        datagram = bytearray(encode(AckFrame(1, seq=0)))
+        datagram[2] = 3  # version byte
+        assert peek(bytes(datagram)) == (None, None)
+        datagram = bytearray(encode(AckFrame(1, seq=0)))
+        datagram[3] = 42  # kind byte
+        assert peek(bytes(datagram)) == (None, None)
+
+    def test_peek_ignores_payload_corruption(self):
+        # Fault rules must classify traffic they do not consume, so peek
+        # tolerates what decode() rejects.
+        datagram = bytearray(encode(DataFrame(1, 4, 8, b"payload")))
+        datagram[-1] ^= 0xFF
+        assert peek(bytes(datagram)) == (FrameKind.DATA, 4)
         with pytest.raises(WireError):
             decode(bytes(datagram))

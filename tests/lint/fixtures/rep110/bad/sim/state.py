@@ -1,0 +1,26 @@
+"""Bad: slotted kernel classes growing ad-hoc attributes after __init__."""
+
+
+class Tracker:
+    __slots__ = ("count", "last")
+
+    def __init__(self):
+        self.count = 0
+        self.last = None
+
+    def observe(self, value):
+        self.count += 1
+        self.last = value
+        self.history = [value]  # not a slot: AttributeError at runtime
+
+
+class Window(Tracker):
+    __slots__ = ("size",)
+
+    def __init__(self, size):
+        super().__init__()
+        self.size = size
+
+    def resize(self, size):
+        self.size = size
+        self.pending_size = size  # not a slot anywhere in the chain

@@ -1,0 +1,11 @@
+"""Good: REP110 is scoped to sim/ and core/ — other packages are free."""
+
+
+class ResultBucket:
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = []
+
+    def mark_done(self):
+        self.done = True  # outside sim/ and core/: not REP110's business

@@ -1,0 +1,67 @@
+"""Good: slots discipline on kernel classes, plus every sanctioned opt-out."""
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class Tracker:
+    __slots__ = ("count", "last")
+
+    def __init__(self):
+        self.count = 0
+        self.last = None
+
+    def observe(self, value):
+        self.count += 1
+        self.last = value
+
+
+class Window(Tracker):
+    __slots__ = ("size",)
+
+    def __init__(self, size):
+        super().__init__()
+        self.size = size
+
+    def resize(self, size):
+        self.size = size  # own slot
+        self.last = size  # inherited slot
+
+
+class Annotated:
+    # Listing "__dict__" is the explicit opt-in to ad-hoc attributes.
+    __slots__ = ("core", "__dict__")
+
+    def __init__(self):
+        self.core = None
+
+    def annotate(self, note):
+        self.note = note
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    x: int
+    y: int
+
+    def shifted(self, dx):
+        return Point(self.x + dx, self.y)
+
+
+@dataclass
+class OpenRecord:
+    # No slots=True: instances own a __dict__, ad-hoc attributes are fine.
+    value: int = 0
+
+    def touch(self):
+        self.extra = 1
+
+
+class Buffered(deque):
+    # Base class defined elsewhere: its slots are unknowable, so the
+    # class is skipped rather than guessed at.
+    __slots__ = ()
+
+    def push(self, item):
+        self.latest = item
+        self.append(item)

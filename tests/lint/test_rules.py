@@ -83,3 +83,11 @@ def test_rep108_reports_unhandled_frame_and_codec_gap():
     assert "NakOnlyReceiver" in messages
     by_file = {Path(v.path).name for v in result.violations}
     assert {"frames.py", "wire.py", "proto.py"} <= by_file
+
+
+def test_rep110_names_the_stray_attribute_and_method():
+    result = run_lint([FIXTURES / "rep110" / "bad"])
+    messages = " | ".join(v.message for v in result.violations)
+    assert "self.history" in messages and "Tracker.observe()" in messages
+    assert "self.pending_size" in messages and "Window.resize()" in messages
+    assert len(result.violations) == 2  # slot writes in the same methods pass

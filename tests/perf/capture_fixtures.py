@@ -1,0 +1,52 @@
+"""Record seed-kernel fixtures for the fastpath-equivalence tests.
+
+Run once against the *seed* (pre-optimization) kernel and codec; the
+recorded traces, wire bytes and digests become the contract that the
+optimized fast path must reproduce byte-for-byte:
+
+    PYTHONPATH=src python tests/perf/capture_fixtures.py
+
+The outputs are committed under ``tests/perf/fixtures/``; re-running
+against an equivalent kernel must be a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.perf import workloads
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def main() -> None:
+    os.makedirs(FIXTURES, exist_ok=True)
+
+    datagrams = workloads.canonical_datagrams()
+    with open(os.path.join(FIXTURES, "wire_frames.hex"), "w") as handle:
+        for datagram in datagrams:
+            handle.write(datagram.hex() + "\n")
+
+    digests = {"wire": workloads.wire_digest(datagrams),
+               "kernel": workloads.kernel_digest()}
+
+    for protocol in workloads.CANONICAL_TRACE_PROTOCOLS:
+        ascii_art, span_digest = workloads.canonical_trace(protocol)
+        path = os.path.join(FIXTURES, f"trace_{protocol}.txt")
+        with open(path, "w") as handle:
+            handle.write(ascii_art)
+        digests[f"trace:{protocol}"] = span_digest
+        digests[f"run_many:{protocol}"] = workloads.run_digest(protocol, n_jobs=1)
+
+    with open(os.path.join(FIXTURES, "seed_digests.json"), "w") as handle:
+        json.dump(digests, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for key in sorted(digests):
+        print(f"{key}: {digests[key]}")
+    print(f"wrote fixtures to {FIXTURES}")
+
+
+if __name__ == "__main__":
+    main()

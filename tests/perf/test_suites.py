@@ -1,0 +1,113 @@
+"""Structure ledger and bench-report schema of the perf subsystem.
+
+The timings a perf run reports are machine facts and never asserted;
+everything else — suite registry, canonical workload sizes, determinism
+digests, the JSON schema of ``BENCH_fastpath.json``, and the golden
+structure ledger — is a contract and is pinned here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.report import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    check_ledger,
+    render_ledger,
+    render_table,
+)
+from repro.perf.suites import SuiteResult, run_suites, suite_names
+
+GOLDEN_LEDGER = (
+    Path(__file__).parents[2] / "benchmarks" / "results" / "perf_structure.txt"
+)
+
+AB_SUITES = ("des_events", "des_process", "codec_encode", "codec_decode")
+
+
+@pytest.fixture(scope="module")
+def results():
+    # One smoke pass with a single repeat: fast enough for CI, and the
+    # structure rows it produces are identical to a full run's.
+    return run_suites(smoke=True, repeats=1)
+
+
+def test_suite_registry_is_stable():
+    assert suite_names() == [
+        "des_events",
+        "des_process",
+        "codec_encode",
+        "codec_decode",
+        "conformance_cell",
+        "service_run",
+    ]
+
+
+def test_structure_ledger_matches_golden(results):
+    assert render_ledger(results) == GOLDEN_LEDGER.read_text()
+
+
+def test_check_ledger_accepts_suite_subsets(results):
+    assert check_ledger(results[:2], str(GOLDEN_LEDGER)) is None
+
+
+def test_check_ledger_reports_drift(results, tmp_path):
+    drifted = tmp_path / "ledger.txt"
+    drifted.write_text(
+        GOLDEN_LEDGER.read_text().replace("digest=", "digest=f00d", 1)
+    )
+    report = check_ledger(results, str(drifted))
+    assert report is not None and "drifted" in report
+
+
+def test_bench_payload_schema(results):
+    payload = bench_payload(results, mode="smoke")
+    assert payload["schema"] == BENCH_SCHEMA
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert payload["mode"] == "smoke"
+    assert set(payload["suites"]) == set(suite_names())
+    for name, entry in payload["suites"].items():
+        assert entry["iterations"] > 0
+        assert entry["best_s"] > 0
+        assert entry["ops_per_s"] > 0
+        assert len(entry["digest"]) == 64
+        if name in AB_SUITES:
+            assert entry["baseline_best_s"] > 0
+            assert entry["baseline_ops_per_s"] > 0
+            assert entry["speedup_vs_baseline"] > 0
+        else:
+            assert "speedup_vs_baseline" not in entry
+
+
+def test_render_table_lists_every_suite(results):
+    table = render_table(results)
+    for name in suite_names():
+        assert name in table
+
+
+def test_ledger_line_carries_no_timings():
+    result = SuiteResult(
+        name="demo",
+        iterations=123,
+        repeats=3,
+        best_s=0.5,
+        ops_per_s=246.0,
+        digest="d" * 64,
+        canonical_ops=42,
+        baseline_best_s=1.0,
+        baseline_ops_per_s=123.0,
+        speedup_vs_baseline=2.0,
+    )
+    assert result.ledger_line() == f"demo canonical_ops=42 digest={'d' * 64}"
+
+
+def test_unknown_suite_name_is_rejected():
+    with pytest.raises(ValueError, match="unknown suite"):
+        run_suites(names=["no_such_suite"])
+
+
+def test_repeats_must_be_positive():
+    with pytest.raises(ValueError, match="repeats"):
+        run_suites(names=["codec_encode"], repeats=0)

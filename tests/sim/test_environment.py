@@ -125,3 +125,66 @@ class TestDeterminism:
             return log
 
         assert build() == build()
+
+
+class TestSuccessiveTimedRuns:
+    """run(until=<number>) stop events draw dedicated sentinel eids.
+
+    A process failure escaping a timed run leaves that run's stop event
+    in the heap.  The next timed run pushes a second stop at a possibly
+    identical (time, priority); with the old shared ``-1`` sentinel the
+    heap tie-break fell through to comparing the Event objects and blew
+    up with TypeError.  Each stop now draws a fresh, increasing sentinel
+    eid, so ties resolve in push order.
+    """
+
+    def test_second_timed_run_after_escaped_failure(self):
+        env = Environment()
+
+        def boom():
+            yield env.timeout(0.5)
+            raise RuntimeError("boom")
+
+        env.process(boom())
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=1.0)
+        env.timeout(0.2)
+        env.run(until=1.0)  # same stop time: must not TypeError
+        assert env.now == 1.0
+
+    def test_successive_timed_runs_advance_the_clock(self):
+        env = Environment()
+        ticks = []
+
+        def ticker():
+            while True:
+                yield env.timeout(0.25)
+                ticks.append(env.now)
+
+        env.process(ticker())
+        env.run(until=1.0)
+        assert env.now == 1.0
+        env.run(until=2.0)
+        assert env.now == 2.0
+        # The stop at t=1.0 is urgent, so it fires before the tick due
+        # at the same instant; that tick lands in the second run.
+        assert ticks == [0.25 * i for i in range(1, 8)]
+
+    def test_stop_events_sort_ahead_of_real_events(self):
+        # Sentinel eids start far below any real eid: a stop pushed
+        # *after* billions of events still wins a same-time tie.
+        env = Environment()
+        seen = []
+        env.timeout(1.0).add_callback(lambda event: seen.append("tick"))
+        env.run(until=1.0)
+        assert env.now == 1.0
+        assert seen == []  # the stop fired first; the tick is still queued
+        env.run()
+        assert seen == ["tick"]
+
+    def test_timed_run_in_the_past_is_rejected(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=1.0)
+        with pytest.raises(ValueError, match="in the past"):
+            env.run(until=0.5)
