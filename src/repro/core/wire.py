@@ -44,6 +44,7 @@ from .frames import AckFrame, ControlFrame, DataFrame, FrameKind, NakFrame
 
 __all__ = [
     "encode",
+    "encode_into",
     "decode",
     "peek",
     "WireError",
@@ -176,6 +177,47 @@ def encode(frame: Frame) -> bytes:
         )
     crc = crc32(payload, crc32(header)) & 0xFFFFFFFF
     return header + _CRC.pack(crc) + payload
+
+
+def encode_into(frame: Frame, buf, offset: int = 0) -> int:
+    """Serialise a frame into ``buf`` at ``offset``; returns bytes written.
+
+    Byte-for-byte identical to :func:`encode` — same version selection,
+    same CRC — but packs the header directly into the caller's buffer
+    and copies the payload once, so batched send paths can reuse one
+    output buffer instead of materialising a ``bytes`` per frame.
+    ``buf`` is any writable buffer (``bytearray``/``memoryview``).
+    Raises :class:`WireError` when the frame does not fit.
+    """
+    kind, seq, total, payload, flags = _frame_fields(frame)
+    payload_len = len(payload)
+    if frame.stream_id == 0:
+        header_size, header_bytes = _HEADER.size, HEADER_BYTES
+    else:
+        header_size, header_bytes = _HEADER2.size, HEADER2_BYTES
+    needed = header_bytes + payload_len
+    if offset < 0 or len(buf) - offset < needed:
+        raise WireError(
+            f"buffer too small: need {needed} bytes at offset {offset}, "
+            f"have {len(buf) - offset}"
+        )
+    if frame.stream_id == 0:
+        _HEADER.pack_into(
+            buf, offset, MAGIC, VERSION, kind, frame.transfer_id, seq, total,
+            flags, payload_len,
+        )
+    else:
+        _HEADER2.pack_into(
+            buf, offset, MAGIC, VERSION_STREAM, kind, frame.stream_id,
+            frame.transfer_id, seq, total, flags, payload_len,
+        )
+    with memoryview(buf) as view:
+        crc = crc32(payload, crc32(view[offset:offset + header_size]))
+        crc &= 0xFFFFFFFF
+        _CRC.pack_into(buf, offset + header_size, crc)
+        end = offset + header_bytes
+        view[end:end + payload_len] = payload
+    return needed
 
 
 def peek(datagram: bytes):

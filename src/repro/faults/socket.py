@@ -38,10 +38,16 @@ from ..core.wire import HEADER_BYTES, WireError, decode, encode, peek
 from ..simnet.errors import ErrorModel, PerfectChannel
 from .plan import FaultDecision, FaultPlan, PlanExecutor
 
-__all__ = ["FaultySocket"]
+__all__ = ["FaultySocket", "RECV_BUFFER_BYTES"]
 
 #: FrameKind name → plan-DSL kind selector.
 _KIND_NAMES = {1: "data", 2: "ack", 3: "nak", 4: "control"}
+
+#: Bytes per reusable receive buffer — covers any datagram UDP can
+#: deliver.  Re-exported by :mod:`repro.udpnet.endpoints` so every layer
+#: (endpoint fast path, this wrapper's scratch buffer, the service
+#: batch-I/O ring) sizes its buffers identically.
+RECV_BUFFER_BYTES = 65536
 
 
 def _damage(datagram: bytes, mask: int, silent: bool) -> Optional[bytes]:
@@ -56,6 +62,7 @@ def _damage(datagram: bytes, mask: int, silent: bool) -> Optional[bytes]:
     (no payload to damage, or the datagram is already undecodable),
     which callers treat as detectable damage instead.
     """
+    datagram = bytes(datagram)  # accept memoryviews from batched senders
     if silent:
         try:
             frame = decode(datagram)
@@ -164,6 +171,10 @@ class FaultySocket:
         self._send_held = _HeldQueue()
         self._recv_held = _HeldQueue()
         self._ready: List[Tuple[bytes, object]] = []
+        # Reusable kernel-receive buffer: every receive path (including
+        # the plan slow path) lands kernel bytes here first, so no code
+        # path asks the kernel to allocate a fresh datagram string.
+        self._scratch = bytearray(RECV_BUFFER_BYTES)
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.datagrams_received = 0
@@ -213,11 +224,15 @@ class FaultySocket:
             if damaged is not None:
                 payload = damaged
         if decision.reorder_depth:
-            self._send_held.hold_reordered(decision.reorder_depth, payload, address)
+            # Held datagrams must own their bytes: a memoryview from a
+            # batched sender aliases a buffer the caller reuses.
+            self._send_held.hold_reordered(
+                decision.reorder_depth, bytes(payload), address
+            )
             return len(payload)
         if decision.delay_s:
             due = time.monotonic() + decision.delay_s
-            self._send_held.hold_delayed(due, payload, address)
+            self._send_held.hold_delayed(due, bytes(payload), address)
             return len(payload)
         sent = self._sock.sendto(payload, address)
         for _ in range(decision.duplicates):
@@ -262,9 +277,15 @@ class FaultySocket:
                 wait = slice_s if wait is None else min(wait, slice_s)
             self._sock.settimeout(wait)
             try:
-                datagram, sender = self._sock.recvfrom(bufsize)
-            except _socket.timeout:
+                # Kernel bytes land in the reusable scratch buffer (no
+                # kernel-side allocation); held-queue bookkeeping needs
+                # an owned copy, taken exactly once here.
+                count, sender = self._sock.recvfrom_into(
+                    self._scratch, min(bufsize, RECV_BUFFER_BYTES)
+                )
+            except (_socket.timeout, BlockingIOError, InterruptedError):
                 continue  # release held traffic / re-check the deadline
+            datagram = bytes(memoryview(self._scratch)[:count])
             self.datagrams_received += 1
             if self.executor is None:
                 return datagram, sender
@@ -321,10 +342,122 @@ class FaultySocket:
         buffer[:count] = datagram
         return count, sender
 
+    # -- batched (readiness-loop) receive path ------------------------------
+    def recv_ready_into(self, buffer):
+        """Non-blocking receive into ``buffer``: ``(count, sender)`` or None.
+
+        The readiness-loop entry point (:mod:`repro.service.iobatch`):
+        never blocks, and — unlike a :meth:`recvfrom` deadline expiry —
+        never force-flushes reorder holds, because a zero-wait drain is
+        not a timeout.  The loop owns that policy via
+        :meth:`flush_recv_held`.  Delay-held datagrams whose due time
+        has passed are released first; then kernel datagrams are pulled
+        through the plan until one is deliverable or the kernel queue
+        is empty.  The underlying socket must be non-blocking (or have
+        a zero timeout) for the "or None" contract to hold.
+        """
+        self._release_send_held()
+        self._ready.extend(self._recv_held.due(time.monotonic()))
+        if self._ready:
+            return self._pop_ready_into(buffer)
+        scratch = self._scratch
+        while True:
+            try:
+                if self.executor is None:
+                    # Plan-free fast path: the kernel writes straight
+                    # into the caller's ring slot — zero copies.
+                    count, sender = self._sock.recvfrom_into(buffer)
+                    self.datagrams_received += 1
+                    return count, sender
+                count, sender = self._sock.recvfrom_into(scratch)
+            except (BlockingIOError, InterruptedError, _socket.timeout):
+                return None
+            self.datagrams_received += 1
+            view = memoryview(scratch)[:count]
+            decision = self._decide(view, "recv")
+            if decision.drop:
+                self.recv_dropped += 1
+                continue
+            owned: Optional[bytes] = None
+            if decision.corrupt:
+                damaged = _damage(view, decision.corrupt_mask, decision.silent)
+                if damaged is None:
+                    damaged = _damage(view, decision.corrupt_mask, silent=False)
+                owned = damaged if damaged is not None else bytes(view)
+            if decision.reorder_depth:
+                self._recv_held.hold_reordered(
+                    decision.reorder_depth,
+                    owned if owned is not None else bytes(view), sender,
+                )
+                continue
+            if decision.delay_s:
+                self._recv_held.hold_delayed(
+                    time.monotonic() + decision.delay_s,
+                    owned if owned is not None else bytes(view), sender,
+                )
+                continue
+            if owned is None and not decision.duplicates:
+                # Deliverable untouched, no copies queued: hand the
+                # scratch bytes straight to the caller's buffer.  The
+                # delivery still counts as one passing datagram for
+                # reorder countdowns, exactly like ``_pop_ready``.
+                buffer[:count] = view
+                self._ready.extend(self._recv_held.overtaken())
+                return count, sender
+            if owned is None:
+                owned = bytes(view)
+            self._ready.append((owned, sender))
+            for _ in range(decision.duplicates):
+                self._ready.append((owned, sender))
+            return self._pop_ready_into(buffer)
+
+    def _pop_ready_into(self, buffer):
+        datagram, sender = self._pop_ready()
+        count = len(datagram)
+        buffer[:count] = datagram
+        return count, sender
+
+    def flush_recv_held(self) -> int:
+        """Force-release every held incoming datagram into the ready queue.
+
+        The readiness loop calls this when *its* receive deadline
+        expires — the same "bounded plans never wedge" guarantee
+        :meth:`recvfrom` applies internally.  Returns the number
+        released; drain them with :meth:`recv_ready_into`.
+        """
+        flushed = self._recv_held.flush()
+        self._ready.extend(flushed)
+        return len(flushed)
+
+    def next_held_due(self) -> Optional[float]:
+        """Earliest monotonic due time of any delay-held datagram, or None.
+
+        Readiness loops bound their poll timeout with this so a delayed
+        datagram is released on schedule even when the socket stays
+        quiet.
+        """
+        dues = [
+            due
+            for due in (self._send_held.next_due(), self._recv_held.next_due())
+            if due is not None
+        ]
+        return min(dues) if dues else None
+
+    @property
+    def has_ready(self) -> bool:
+        """True when a datagram is deliverable without touching the kernel."""
+        return bool(self._ready)
+
     # -- plumbing -----------------------------------------------------------
     def settimeout(self, timeout: Optional[float]) -> None:
         self._timeout = timeout
         self._sock.settimeout(timeout)
+
+    def setblocking(self, flag: bool) -> None:
+        self._sock.setblocking(flag)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
     def getsockname(self) -> Tuple[str, int]:
         return self._sock.getsockname()

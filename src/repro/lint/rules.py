@@ -1,4 +1,4 @@
-"""replint rule families REP101–REP107, REP109 and REP110 (single-file AST rules).
+"""replint rule families REP101–REP107 and REP109–REP111 (single-file AST rules).
 
 Every rule is a pluggable class with an ``id``, ``severity``,
 ``fix_hint`` and a one-line ``title``; :func:`all_rules` returns one
@@ -806,8 +806,56 @@ class SlotsDisciplineRule(Rule):
                     yield target, target.attr
 
 
+# ---------------------------------------------------------------------------
+# REP111 — direct datagram I/O outside the batch layer
+# ---------------------------------------------------------------------------
+
+class DirectSocketIORule(Rule):
+    """Every datagram the service sends or receives must flow through
+    :mod:`repro.service.iobatch` — that module owns the preallocated
+    zero-copy buffers, the kernel-queue backpressure policy, and the
+    fault-plan hooks (``recv_ready_into`` and held-datagram release).  A
+    raw ``sock.sendto``/``sock.recvfrom*`` anywhere else in ``service/``
+    silently bypasses all three, so the batched and legacy paths drift
+    apart exactly where the equivalence gate cannot see it.
+    """
+
+    id = "REP111"
+    severity = "error"
+    title = "direct datagram socket I/O outside the batch layer"
+    fix_hint = (
+        "route datagrams through service/iobatch.py's DatagramBatchIO "
+        "(send_frame/send_datagram/recv_batch) so zero-copy buffers and "
+        "fault-plan hooks stay on every service path"
+    )
+
+    _EXEMPT_UNIT = "service/iobatch.py"
+    _DIRECT_METHODS = (
+        "sendto",
+        "recvfrom",
+        "recvfrom_into",
+        "recvmsg",
+        "recvmsg_into",
+        "sendmsg",
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dir("service") or ctx.unit == self._EXEMPT_UNIT:
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._DIRECT_METHODS):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() bypasses the batch I/O layer's "
+                    "buffers and fault hooks; go through DatagramBatchIO",
+                )
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP110 in order."""
+    """One instance of every replint rule, REP101..REP111 in order."""
     from .protocol import ProtocolExhaustivenessRule
 
     return [
@@ -821,6 +869,7 @@ def all_rules() -> List[Rule]:
         ProtocolExhaustivenessRule(),
         BlockingServiceCallRule(),
         SlotsDisciplineRule(),
+        DirectSocketIORule(),
     ]
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "LegacyEvent",
     "LegacyTimeout",
     "LegacyProcess",
+    "LegacyUdpTransferService",
     "legacy_encode",
     "legacy_decode",
 ]
@@ -409,3 +410,91 @@ def legacy_decode(datagram: bytes):
         )
     except (ValueError, IndexError) as exc:
         raise WireError(f"inconsistent frame fields: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Frozen pre-batching UDP service loop
+# ---------------------------------------------------------------------------
+
+#: The old loop's wait clamp and floor (frozen; the live loop dropped
+#: the floor when it went readiness-driven).
+_LEGACY_MAX_WAIT_S = 0.05
+_LEGACY_MIN_WAIT_S = 0.0005
+_LEGACY_DRAIN_BATCH = 64
+
+
+class LegacyUdpTransferService:
+    """The pre-batching UDP service loop, frozen for A/B timing.
+
+    A faithful copy of ``UdpTransferService.serve`` as it stood before
+    the readiness-driven rewrite: one timeout-armed ``recvfrom`` per
+    datagram, one ``core.poll`` per loop iteration, a fresh ``bytes``
+    per outgoing frame, and a minimum 0.5 ms stall whenever a timer was
+    due.  It drives the *live* ``ServiceCore`` and codec — the A/B
+    suites isolate the I/O-loop change, nothing else — over the live
+    ``UdpEndpoint`` plumbing (constructor-injected, not inherited, so a
+    later endpoint refactor cannot silently change this loop).
+
+    Do not optimize; see the module docstring.
+    """
+
+    def __init__(self, config=None, bind=("127.0.0.1", 0)):
+        from ..service.engine import ServiceConfig, ServiceCore
+        from ..udpnet.endpoints import UdpEndpoint
+
+        self.config = config if config is not None else ServiceConfig()
+        self._endpoint = UdpEndpoint(
+            bind=bind, packet_bytes=self.config.packet_bytes
+        )
+        self.sock = self._endpoint.sock
+        self.core = ServiceCore(self.config)
+        self._stop_requested = False
+
+    @property
+    def address(self):
+        return self._endpoint.address
+
+    def stop(self) -> None:
+        self._stop_requested = True
+
+    def close(self) -> None:
+        self._endpoint.close()
+
+    def canonical_report_json(self) -> str:
+        return self.core.metrics.canonical_json()
+
+    def serve(self, expected_streams=None, duration_s=None) -> bool:
+        import time as _time
+
+        from ..core.wire import encode as _encode
+
+        start = _time.monotonic()
+        while not self._stop_requested:
+            now = _time.monotonic() - start
+            for frame, addr in self.core.poll(now):
+                self.sock.sendto(_encode(frame), addr)
+            settled = (self.core.finished_count
+                       + len(self.core.metrics.rejections))
+            if (expected_streams is not None and settled >= expected_streams
+                    and self.core.idle):
+                return True
+            if duration_s is not None and now >= duration_s:
+                return False
+            deadline = self.core.next_deadline(now)
+            if deadline is None:
+                wait = _LEGACY_MAX_WAIT_S
+            else:
+                wait = min(max(deadline - now, _LEGACY_MIN_WAIT_S),
+                           _LEGACY_MAX_WAIT_S)
+            drained = 0
+            got = self._endpoint._recv_frame(timeout_s=wait)
+            while got is not None:
+                frame, addr = got
+                for out, dst in self.core.on_frame(
+                        frame, _time.monotonic() - start, client=addr):
+                    self.sock.sendto(_encode(out), dst)
+                drained += 1
+                if drained >= _LEGACY_DRAIN_BATCH:
+                    break
+                got = self._endpoint._recv_frame(timeout_s=0.0)
+        return False

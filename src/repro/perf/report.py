@@ -55,6 +55,8 @@ def bench_payload(results: Sequence[SuiteResult], mode: str) -> dict:
             entry["baseline_best_s"] = result.baseline_best_s
             entry["baseline_ops_per_s"] = result.baseline_ops_per_s
             entry["speedup_vs_baseline"] = result.speedup_vs_baseline
+        if result.extras is not None:
+            entry["extras"] = result.extras
         suites[result.name] = entry
     return {
         "schema": BENCH_SCHEMA,

@@ -23,6 +23,16 @@ kernel" on whatever machine the suite runs:
     ``dup+reorder``) — wall clock of real protocol work.
 ``service_run``
     A 8-stream DES service run through the scheduler/engine stack.
+``service_udp_throughput``
+    8 concurrent 256 KiB blast streams over real loopback sockets.
+    A/B against the frozen pre-batching UDP loop
+    (:class:`.legacy.LegacyUdpTransferService`), equivalence-gated on
+    byte-identical canonical metrics reports (see :mod:`.udpbench`).
+``service_udp_clients``
+    Per-client goodput vs client count (16/64/256 loopback clients in
+    full mode).  A/B and equivalence-gated like the throughput suite;
+    per-cell goodput rides the ``extras`` channel into
+    ``BENCH_fastpath.json``.
 
 Iteration counts scale with the mode (``smoke`` for CI, ``full`` for
 the recorded trajectory) but canonical digests never do — the structure
@@ -38,6 +48,12 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import legacy, workloads
+from .udpbench import (
+    CANONICAL_CLIENTS,
+    CLIENT_COUNTS_FULL,
+    CLIENT_COUNTS_SMOKE,
+    THROUGHPUT_STREAMS,
+)
 
 __all__ = ["Suite", "SuiteResult", "SUITES", "run_suites", "suite_names"]
 
@@ -60,6 +76,10 @@ class Suite:
     canonical_ops: int
     baseline: Optional[Callable[[int], float]] = None
     check: Optional[Callable[[], None]] = None
+    #: Optional machine-dependent side facts of the last timed run
+    #: (e.g. per-client goodput cells) — included in the bench JSON,
+    #: never in the structure ledger.
+    extras: Optional[Callable[[], dict]] = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +96,7 @@ class SuiteResult:
     baseline_best_s: Optional[float] = None
     baseline_ops_per_s: Optional[float] = None
     speedup_vs_baseline: Optional[float] = None
+    extras: Optional[dict] = None
 
     def ledger_line(self) -> str:
         """The byte-stable structure row (no timings, no machine facts)."""
@@ -276,6 +297,64 @@ def _service_digest() -> str:
     return hashlib.sha256(_service_result_json().encode()).hexdigest()
 
 
+# ---------------------------------------------------------------------------
+# Real-socket (loopback UDP) service suites
+# ---------------------------------------------------------------------------
+
+def _udp_throughput(n: int) -> float:
+    from . import udpbench
+
+    return udpbench.time_throughput(udpbench._new_service, n)
+
+
+def _udp_throughput_baseline(n: int) -> float:
+    from . import udpbench
+
+    return udpbench.time_throughput(udpbench._legacy_service, n)
+
+
+def _udp_throughput_digest() -> str:
+    from . import udpbench
+
+    return udpbench.throughput_digest()
+
+
+def _udp_throughput_check() -> None:
+    from . import udpbench
+
+    udpbench.throughput_check()
+
+
+def _udp_clients(n: int) -> float:
+    from . import udpbench
+
+    return udpbench.time_clients_sweep(udpbench._new_service, n, record=True)
+
+
+def _udp_clients_baseline(n: int) -> float:
+    from . import udpbench
+
+    return udpbench.time_clients_sweep(udpbench._legacy_service, n)
+
+
+def _udp_clients_digest() -> str:
+    from . import udpbench
+
+    return udpbench.clients_digest()
+
+
+def _udp_clients_check() -> None:
+    from . import udpbench
+
+    udpbench.clients_check()
+
+
+def _udp_clients_extras() -> dict:
+    from . import udpbench
+
+    return udpbench.last_clients_sweep()
+
+
 SUITES: Dict[str, Suite] = {
     suite.name: suite
     for suite in (
@@ -334,6 +413,27 @@ SUITES: Dict[str, Suite] = {
             timed=_service_run,
             digest=_service_digest,
             canonical_ops=_SERVICE_STREAMS,
+        ),
+        Suite(
+            name="service_udp_throughput",
+            ops_full=10 * THROUGHPUT_STREAMS,
+            ops_smoke=THROUGHPUT_STREAMS,
+            timed=_udp_throughput,
+            baseline=_udp_throughput_baseline,
+            digest=_udp_throughput_digest,
+            check=_udp_throughput_check,
+            canonical_ops=THROUGHPUT_STREAMS,
+        ),
+        Suite(
+            name="service_udp_clients",
+            ops_full=sum(CLIENT_COUNTS_FULL),
+            ops_smoke=sum(CLIENT_COUNTS_SMOKE),
+            timed=_udp_clients,
+            baseline=_udp_clients_baseline,
+            digest=_udp_clients_digest,
+            check=_udp_clients_check,
+            canonical_ops=CANONICAL_CLIENTS,
+            extras=_udp_clients_extras,
         ),
     )
 }
@@ -402,6 +502,9 @@ def run_suites(
                 ),
                 speedup_vs_baseline=(
                     None if baseline_best is None else baseline_best / best
+                ),
+                extras=(
+                    suite.extras() if suite.extras is not None else None
                 ),
             )
         )

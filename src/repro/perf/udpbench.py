@@ -1,0 +1,230 @@
+"""Loopback UDP service benchmarks: batched readiness loop vs frozen loop.
+
+Two suites, both A/B against :class:`.legacy.LegacyUdpTransferService`
+(the pre-batching bounded-wait loop) with the identical client harness
+— the single-threaded :class:`~repro.service.clientpump.UdpClientPump`
+— on both sides, so the ratio isolates the server I/O-loop change:
+
+``service_udp_throughput``
+    8 concurrent 256 KiB blast streams over loopback, the paper's
+    large-transfer shape where per-datagram software overhead dominates.
+    ``ops`` are streams served; timing is wall clock around the whole
+    run (server thread, pump, settle), identical harness both sides.
+
+``service_udp_clients``
+    Per-client goodput versus client count (16/64/256 full,
+    4/8/16 smoke) with small 4 KiB transfers, the scheduling-bound
+    shape of the committed scaling ledger.  The sweep's wall-clock
+    facts (per-client goodput per cell) are exported via the suite's
+    ``extras`` channel into ``BENCH_fastpath.json`` — machine-dependent
+    by nature, so they never enter the structure ledger.
+
+Both suites gate on equivalence before timing: the same workload runs
+once on the frozen loop and once on the batched loop, and the
+*canonical* metrics reports (deterministic outcome projection — see
+:meth:`repro.service.metrics.ServiceMetrics.canonical_dict`) must be
+byte-identical, with every payload verified client-side, or the suite
+raises instead of reporting a number.  The ledger digest hashes the
+batched loop's canonical report for a fixed cell, so it is identical in
+smoke and full modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..service.clientpump import UdpClientPump
+from ..service.engine import ServiceConfig
+
+__all__ = [
+    "THROUGHPUT_STREAMS",
+    "THROUGHPUT_SIZE_BYTES",
+    "CLIENT_COUNTS_FULL",
+    "CLIENT_COUNTS_SMOKE",
+    "CANONICAL_CLIENTS",
+    "run_udp_cell",
+    "time_throughput",
+    "time_clients_sweep",
+    "throughput_check",
+    "clients_check",
+    "throughput_digest",
+    "clients_digest",
+    "last_clients_sweep",
+]
+
+#: The throughput cell: 8 concurrent large blasts.
+THROUGHPUT_STREAMS = 8
+THROUGHPUT_SIZE_BYTES = 256 * 1024
+
+#: The goodput sweep grids (client counts per mode).
+CLIENT_COUNTS_FULL = (16, 64, 256)
+CLIENT_COUNTS_SMOKE = (4, 8, 16)
+#: Per-transfer body in sweep cells (scheduling-bound, matching the
+#: committed DES scaling ledger).
+CLIENT_SWEEP_SIZE_BYTES = 4096
+
+#: The fixed cell hashed into the structure ledger (mode-independent).
+CANONICAL_CLIENTS = 16
+
+#: Pump ring slot: covers the 1 KiB data frames plus headers and any
+#: control response the service emits.
+_SLOT_BYTES = 8192
+_RECV_TIMEOUT_S = 30.0
+_OVERALL_TIMEOUT_S = 120.0
+#: Short linger — loopback without a fault plan cannot lose the final
+#: ACK, so the courtesy window only pads the wall clock.
+_LINGER_S = 0.02
+
+#: Per-client goodput cells of the most recent sweep on the batched
+#: loop, exported through the suite ``extras`` channel.
+_LAST_CLIENTS_SWEEP: List[dict] = []
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(protocol="blast", policy="rr", max_active=8,
+                         max_queue=256)
+
+
+def _new_service(config: ServiceConfig):
+    from ..service.udpservice import UdpTransferService
+
+    return UdpTransferService(config)
+
+
+def _legacy_service(config: ServiceConfig):
+    from .legacy import LegacyUdpTransferService
+
+    return LegacyUdpTransferService(config)
+
+
+def run_udp_cell(
+    factory: Callable[[ServiceConfig], object],
+    clients: int,
+    size_bytes: int,
+    config: Optional[ServiceConfig] = None,
+) -> dict:
+    """Serve ``clients`` pulls of ``size_bytes`` each; returns run facts.
+
+    The returned dict carries ``ok`` (verified pull count),
+    ``canonical`` (the server's canonical report JSON), and the pump's
+    wall-clock stats.  Raises on a failed or unverified pull — a perf
+    number for a broken run is worthless.
+    """
+    service = factory(config if config is not None else _service_config())
+    thread = threading.Thread(
+        target=service.serve,
+        kwargs={"expected_streams": clients,
+                "duration_s": _OVERALL_TIMEOUT_S},
+        daemon=True,
+    )
+    thread.start()
+    pump = UdpClientPump(
+        service.address, [size_bytes] * clients, protocol="blast",
+        recv_timeout_s=_RECV_TIMEOUT_S, slot_bytes=_SLOT_BYTES,
+        linger_s=_LINGER_S,
+    )
+    try:
+        results = pump.run(overall_timeout_s=_OVERALL_TIMEOUT_S)
+    finally:
+        service.stop()
+        thread.join(timeout=10.0)
+    canonical = service.canonical_report_json()
+    service.close()
+    bad = {s: (r.status, r.error) for s, r in results.items() if not r.ok}
+    if len(results) != clients or bad:
+        raise AssertionError(
+            f"UDP cell failed ({clients} clients x {size_bytes}B): {bad}"
+        )
+    stats = pump.stats
+    return {
+        "clients": clients,
+        "ok": stats.ok,
+        "payload_bytes": stats.payload_bytes,
+        "makespan_s": stats.elapsed_s,
+        "per_client_goodput_bytes_per_s": (
+            stats.per_client_goodput_bytes_per_s
+        ),
+        "canonical": canonical,
+    }
+
+
+# -- timing recipes ---------------------------------------------------------
+
+def time_throughput(factory: Callable[[ServiceConfig], object],
+                    n: int) -> float:
+    """Time ``n`` streams' worth of throughput cells, wall clock."""
+    runs = max(1, n // THROUGHPUT_STREAMS)
+    start = perf_counter()
+    for _ in range(runs):
+        run_udp_cell(factory, THROUGHPUT_STREAMS, THROUGHPUT_SIZE_BYTES)
+    return perf_counter() - start
+
+
+#: ops → sweep grid; the registered ops_full/ops_smoke are the grid
+#: totals, so the mode picks its grid (anything else gets the small
+#: grid, keeping ad-hoc iteration counts cheap).
+_CLIENT_GRIDS: Dict[int, Tuple[int, ...]] = {
+    sum(CLIENT_COUNTS_FULL): CLIENT_COUNTS_FULL,
+    sum(CLIENT_COUNTS_SMOKE): CLIENT_COUNTS_SMOKE,
+}
+
+
+def time_clients_sweep(factory: Callable[[ServiceConfig], object],
+                       n: int, record: bool = False) -> float:
+    """Time one goodput sweep (grid selected by ``n``), wall clock."""
+    grid = _CLIENT_GRIDS.get(n, CLIENT_COUNTS_SMOKE)
+    cells: List[dict] = []
+    start = perf_counter()
+    for clients in grid:
+        cell = run_udp_cell(factory, clients, CLIENT_SWEEP_SIZE_BYTES)
+        cells.append({key: cell[key] for key in (
+            "clients", "ok", "payload_bytes", "makespan_s",
+            "per_client_goodput_bytes_per_s",
+        )})
+    elapsed = perf_counter() - start
+    if record:
+        _LAST_CLIENTS_SWEEP[:] = cells
+    return elapsed
+
+
+def last_clients_sweep() -> dict:
+    """Suite ``extras``: the most recent batched-loop sweep cells."""
+    return {"per_client_goodput": list(_LAST_CLIENTS_SWEEP)}
+
+
+# -- equivalence gates and digests ------------------------------------------
+
+def _equivalence(clients: int, size_bytes: int) -> None:
+    """Same workload on frozen and batched loops must agree byte-for-byte."""
+    frozen = run_udp_cell(_legacy_service, clients, size_bytes)
+    batched = run_udp_cell(_new_service, clients, size_bytes)
+    if frozen["canonical"] != batched["canonical"]:
+        raise AssertionError(
+            "batched loop's canonical report differs from the frozen "
+            f"loop's ({clients} clients x {size_bytes}B):\n"
+            f"  frozen:  {frozen['canonical']!r}\n"
+            f"  batched: {batched['canonical']!r}"
+        )
+
+
+def throughput_check() -> None:
+    _equivalence(THROUGHPUT_STREAMS, THROUGHPUT_SIZE_BYTES)
+
+
+def clients_check() -> None:
+    _equivalence(CANONICAL_CLIENTS, CLIENT_SWEEP_SIZE_BYTES)
+
+
+def throughput_digest() -> str:
+    cell = run_udp_cell(_new_service, THROUGHPUT_STREAMS,
+                        THROUGHPUT_SIZE_BYTES)
+    return hashlib.sha256(cell["canonical"].encode()).hexdigest()
+
+
+def clients_digest() -> str:
+    cell = run_udp_cell(_new_service, CANONICAL_CLIENTS,
+                        CLIENT_SWEEP_SIZE_BYTES)
+    return hashlib.sha256(cell["canonical"].encode()).hexdigest()

@@ -194,6 +194,27 @@ class ServiceCore:
             outputs.append((entry.machine.next_frame(now), entry.client))
         return outputs
 
+    def drain_sends(self, now: float,
+                    max_frames: int) -> List[Tuple[object, object]]:
+        """Repeated :meth:`poll` until no grants remain or the batch fills.
+
+        The readiness loop calls this once per wakeup: where the DES
+        substrate interleaves one ``poll`` per simulated quantum, the
+        batched UDP loop amortises a single wakeup across many grant
+        quanta and fills a whole send batch.  Scheduling semantics are
+        untouched — this is literally repeated ``poll`` calls, so every
+        policy (fifo order, rr rotation, copy-budget windows) sees the
+        exact grant sequence the bounded-wait loop produced, just
+        without a sleep between quanta.
+        """
+        outputs = self.poll(now)
+        while outputs and len(outputs) < max_frames:
+            more = self.poll(now)
+            if not more:
+                break
+            outputs.extend(more)
+        return outputs
+
     def next_deadline(self, now: float) -> Optional[float]:
         """Earliest time :meth:`poll` must run again (None = wait for I/O)."""
         if self.idle:

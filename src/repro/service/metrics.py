@@ -213,6 +213,43 @@ class ServiceMetrics:
         return json.dumps(self.to_dict(config), sort_keys=True,
                           separators=(",", ":")) + "\n"
 
+    # -- canonical projection ----------------------------------------------
+    def canonical_dict(self) -> dict:
+        """Substrate-independent projection of the report.
+
+        The full report carries wall-clock timings and client addresses
+        (ephemeral ports on the UDP substrate), which differ run to run
+        even when the service did exactly the same work.  This
+        projection keeps only the deterministic outcome facts — which
+        streams finished, with how many bytes and packets, and the
+        summary counts — so two loop implementations can be compared
+        byte-for-byte (the perf suites' equivalence gate, and the
+        repeated-run identity test in tests/service/).
+        """
+        summary = self.summary()
+        return {
+            "summary": {
+                key: summary[key]
+                for key in ("transfers", "ok", "failed", "rejected", "bytes")
+            },
+            "transfers": [
+                {"stream": r.stream_id, "ok": r.ok, "bytes": r.size_bytes,
+                 "packets": r.packets}
+                for r in sorted(self.transfers.values(),
+                                key=lambda r: r.stream_id)
+            ],
+            "rejections": sorted(
+                ({"stream": j.stream_id, "reason": j.reason}
+                 for j in self.rejections),
+                key=lambda row: row["stream"],
+            ),
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON of :meth:`canonical_dict`."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
     def render_table(self, config: Optional[dict] = None) -> str:
         """Human-oriented text report (`repro serve --report`)."""
         summary = self.summary()

@@ -8,9 +8,20 @@ the loop's clock is seconds since serve() started, so the metrics
 report has the same shape on both substrates (absolute values differ —
 wall time is not simulated time).
 
-The loop never blocks without a bound: every receive carries a timeout
-derived from the core's ``next_deadline`` (clamped to ``MAX_WAIT_S`` so
-stop requests and duration limits stay responsive).
+The event loop is readiness-driven: a ``selectors`` poll on the
+non-blocking socket replaces the old per-datagram timeout-armed
+receive, and all datagram I/O goes through the batched zero-copy layer
+(:class:`~repro.service.iobatch.DatagramBatchIO`).  One wakeup now
+drains a whole ring of datagrams, feeds them all to the core, and
+flushes a whole batch of grants — the per-packet software overhead the
+paper identifies as the bottleneck is paid once per *batch* instead of
+once per datagram.  The loop still never blocks without a bound: the
+poll timeout is derived from the core's ``next_deadline`` and the fault
+layer's held-datagram due times, clamped to ``MAX_WAIT_S`` so stop
+requests and duration limits stay responsive.  When a positive wait
+expires with nothing readable, fault-held (reordered) datagrams are
+force-flushed — the same "bounded plans never wedge" guarantee the old
+per-receive timeout provided.
 
 :class:`UdpServiceClient` pulls one stream and verifies it end to end
 against :func:`~repro.service.machines.service_payload` — the client
@@ -21,27 +32,27 @@ response echoes, so payload integrity needs no checksum exchange.
 from __future__ import annotations
 
 import json
+import selectors
 import threading
 import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.frames import ControlFrame
-from ..core.wire import encode
+from ..core.wire import WireError, decode, encode
 from ..faults.plan import FaultPlan
 from ..simnet.errors import ErrorModel
 from ..udpnet.endpoints import UdpEndpoint
 from .engine import ServiceConfig, ServiceCore
+from .iobatch import DatagramBatchIO
 from .machines import receiver_for, service_payload
 
 __all__ = ["UdpTransferService", "UdpServiceClient", "UdpPullResult"]
 
 #: Loop never sleeps longer than this (keeps stop()/duration responsive).
 MAX_WAIT_S = 0.05
-#: Floor for socket timeouts (0 would busy-spin).
-MIN_WAIT_S = 0.0005
-#: Datagrams drained per wakeup before granting again.
-DRAIN_BATCH = 64
+#: Frames granted (and sent) per wakeup before draining receives again.
+SEND_BATCH = 128
 
 
 class UdpTransferService(UdpEndpoint):
@@ -75,40 +86,65 @@ class UdpTransferService(UdpEndpoint):
         expected_streams: Optional[int] = None,
         duration_s: Optional[float] = None,
     ) -> bool:
-        """Run the event loop.
+        """Run the readiness-driven event loop.
 
         Returns True once ``expected_streams`` transfers have settled
         (completed, failed, or been rejected) with nothing left in
         flight; returns False on ``duration_s`` expiry or :meth:`stop`.
+
+        Each wakeup: flush up to ``SEND_BATCH`` granted frames through
+        the batch layer, poll the selector with a deadline-bounded
+        timeout (one syscall, however many clients are talking), drain
+        the whole receive ring, and feed every frame to the core.  A
+        quiet positive-wait expiry force-flushes fault-held datagrams,
+        matching the old per-receive timeout semantics.
         """
         start = time.monotonic()
-        while not self._stop.is_set():
-            now = time.monotonic() - start
-            for frame, addr in self.core.poll(now):
-                self.sock.sendto(encode(frame), addr)
-            settled = (self.core.finished_count
-                       + len(self.core.metrics.rejections))
-            if (expected_streams is not None and settled >= expected_streams
-                    and self.core.idle):
-                return True
-            if duration_s is not None and now >= duration_s:
-                return False
-            deadline = self.core.next_deadline(now)
-            if deadline is None:
-                wait = MAX_WAIT_S
-            else:
-                wait = min(max(deadline - now, MIN_WAIT_S), MAX_WAIT_S)
-            drained = 0
-            got = self._recv_frame(timeout_s=wait)
-            while got is not None:
-                frame, addr = got
-                for out, dst in self.core.on_frame(
-                        frame, time.monotonic() - start, client=addr):
-                    self.sock.sendto(encode(out), dst)
-                drained += 1
-                if drained >= DRAIN_BATCH:
-                    break
-                got = self._recv_frame(timeout_s=0.0)
+        core = self.core
+        batch = DatagramBatchIO(self.sock)
+        selector = selectors.DefaultSelector()
+        selector.register(batch.fileno(), selectors.EVENT_READ)
+        monotonic = time.monotonic
+        try:
+            while not self._stop.is_set():
+                now = monotonic() - start
+                for frame, addr in core.drain_sends(now, SEND_BATCH):
+                    batch.send_frame(frame, addr)
+                settled = (core.finished_count
+                           + len(core.metrics.rejections))
+                if (expected_streams is not None
+                        and settled >= expected_streams and core.idle):
+                    return True
+                if duration_s is not None and now >= duration_s:
+                    return False
+                deadline = core.next_deadline(now)
+                if deadline is None:
+                    wait = MAX_WAIT_S
+                else:
+                    wait = min(max(deadline - now, 0.0), MAX_WAIT_S)
+                held_due = batch.next_held_due()
+                if held_due is not None:
+                    wait = min(wait, max(held_due - monotonic(), 0.0))
+                if batch.has_ready:
+                    wait = 0.0
+                selector.select(wait)
+                datagrams = batch.recv_batch()
+                if not datagrams and wait > 0.0 and batch.flush_held():
+                    # The wait expired with nothing readable: release
+                    # reorder-held datagrams so a bounded plan can never
+                    # wedge the loop (deadline-expiry semantics of the
+                    # old blocking receive).
+                    datagrams = batch.recv_batch()
+                for view, addr in datagrams:
+                    try:
+                        frame = decode(view)
+                    except WireError:
+                        continue  # corrupted: exactly like a loss
+                    for out, dst in core.on_frame(
+                            frame, monotonic() - start, client=addr):
+                        batch.send_frame(out, dst)
+        finally:
+            selector.close()
         return False
 
     def report_json(self) -> str:
@@ -116,6 +152,10 @@ class UdpTransferService(UdpEndpoint):
 
     def report_table(self) -> str:
         return self.core.report_table()
+
+    def canonical_report_json(self) -> str:
+        """Deterministic outcome projection (see ServiceMetrics)."""
+        return self.core.metrics.canonical_json()
 
 
 @dataclass
@@ -161,6 +201,11 @@ class UdpServiceClient(UdpEndpoint):
         self.pull_retries = pull_retries
         self.recv_timeout_s = recv_timeout_s
         self.linger_s = linger_s
+        # Send-only batch layer (zero-copy encode); receives stay on the
+        # endpoint's blocking reusable-buffer path, so the socket keeps
+        # its timeout-driven mode.
+        self._io = DatagramBatchIO(self.sock, ring_slots=1,
+                                   nonblocking=False)
 
     def pull(self, stream_id: int, size: int) -> UdpPullResult:
         """Request stream ``stream_id`` of ``size`` bytes and receive it."""
@@ -171,7 +216,7 @@ class UdpServiceClient(UdpEndpoint):
                                       body=body))
         response = None
         for _ in range(self.pull_retries):
-            self.sock.sendto(request, self.server)
+            self._io.send_datagram(request, self.server)
             response = self._await_reply(stream_id, self.pull_timeout_s)
             if response is not None:
                 break
@@ -204,7 +249,7 @@ class UdpServiceClient(UdpEndpoint):
             if replies:
                 deadline = time.monotonic() + self.recv_timeout_s
                 for reply in replies:
-                    self.sock.sendto(encode(reply), self.server)
+                    self._io.send_frame(reply, self.server)
             elif isinstance(frame, ControlFrame) is False:
                 deadline = time.monotonic() + self.recv_timeout_s
 
@@ -224,7 +269,7 @@ class UdpServiceClient(UdpEndpoint):
             if getattr(frame, "stream_id", 0) != stream_id:
                 continue
             for reply in receiver.on_frame(frame, time.monotonic() - started):
-                self.sock.sendto(encode(reply), self.server)
+                self._io.send_frame(reply, self.server)
         return UdpPullResult(
             stream_id,
             "ok",

@@ -17,14 +17,24 @@ from typing import Optional, Tuple
 
 from ..core.wire import WireError, decode
 from ..faults.plan import FaultPlan
-from ..faults.socket import FaultySocket
+from ..faults.socket import RECV_BUFFER_BYTES, FaultySocket
 from ..simnet.errors import ErrorModel
 from .lossy import LossySocket
 
-__all__ = ["UdpEndpoint", "UdpTransferOutcome", "DEFAULT_PACKET_BYTES"]
+__all__ = [
+    "UdpEndpoint",
+    "UdpTransferOutcome",
+    "DEFAULT_PACKET_BYTES",
+    "RECV_BUFFER_BYTES",
+]
 
 #: Payload bytes per data packet — the paper's 1 KB packets.
 DEFAULT_PACKET_BYTES = 1024
+
+# RECV_BUFFER_BYTES is defined in :mod:`repro.faults.socket` (the
+# lowest layer that owns a receive buffer) and re-exported here: the
+# endpoint fast path, FaultySocket's scratch buffer, and the batch-I/O
+# ring in :mod:`repro.service.iobatch` all size their buffers with it.
 
 
 @dataclass
@@ -75,9 +85,8 @@ class UdpEndpoint:
             self.sock = LossySocket(raw, error_model)
         self.packet_bytes = packet_bytes
         # One receive buffer per endpoint, reused by every recvfrom_into
-        # (endpoints are single-threaded receivers; 65536 covers any
-        # datagram the wire format can carry).
-        self._recv_buffer = bytearray(65536)
+        # (endpoints are single-threaded receivers).
+        self._recv_buffer = bytearray(RECV_BUFFER_BYTES)
 
     @property
     def address(self) -> Tuple[str, int]:

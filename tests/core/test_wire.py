@@ -11,8 +11,25 @@ from repro.core.wire import (
     HEADER_BYTES,
     _bitmap_from_missing,
     _missing_from_bitmap,
+    encode_into,
     peek,
 )
+
+#: One frame per kind in both wire versions, plus bitmap/payload edges —
+#: the corpus every encode_into equivalence assertion runs over.
+CANONICAL_FRAMES = [
+    DataFrame(7, 3, 10, b"hello world", wants_reply=True),
+    DataFrame(1, 0, 1, b""),  # empty payload
+    DataFrame(7, 3, 10, b"hello", stream_id=42),
+    DataFrame(2**32 - 1, 299, 300, b"x" * 1500, stream_id=2**32 - 1),
+    AckFrame(9, seq=63),
+    AckFrame(7, seq=3, stream_id=9),
+    NakFrame(5, first_missing=1, missing=(1, 3, 62), total=64),
+    NakFrame(3, first_missing=0, missing=tuple(range(512)), total=512),
+    NakFrame(7, first_missing=1, missing=(1, 4), total=10, stream_id=9),
+    ControlFrame(4, request_id=2, body=b'{"op": "pull"}'),
+    ControlFrame(7, request_id=2, body=b"{}", stream_id=9),
+]
 
 
 class TestRoundTrips:
@@ -311,3 +328,71 @@ class TestPeek:
         assert peek(bytes(datagram)) == (FrameKind.DATA, 4)
         with pytest.raises(WireError):
             decode(bytes(datagram))
+
+
+class TestEncodeInto:
+    """encode_into must be byte-for-byte the in-place twin of encode."""
+
+    @pytest.mark.parametrize(
+        "frame", CANONICAL_FRAMES, ids=lambda f: f"{type(f).__name__}-s{f.stream_id}"
+    )
+    def test_exact_byte_equivalence(self, frame):
+        expected = encode(frame)
+        buf = bytearray(len(expected))
+        n = encode_into(frame, buf)
+        assert n == len(expected)
+        assert bytes(buf[:n]) == expected
+
+    @pytest.mark.parametrize(
+        "frame", CANONICAL_FRAMES, ids=lambda f: f"{type(f).__name__}-s{f.stream_id}"
+    )
+    def test_offset_and_dirty_buffer(self, frame):
+        # A reused (dirty) buffer and a nonzero offset must not leak into
+        # the encoding; bytes outside the written window stay untouched.
+        expected = encode(frame)
+        buf = bytearray(b"\xaa" * (len(expected) + 16))
+        n = encode_into(frame, buf, offset=7)
+        assert n == len(expected)
+        assert bytes(buf[7:7 + n]) == expected
+        assert bytes(buf[:7]) == b"\xaa" * 7
+        assert bytes(buf[7 + n:]) == b"\xaa" * (len(buf) - 7 - n)
+
+    @pytest.mark.parametrize(
+        "frame", CANONICAL_FRAMES, ids=lambda f: f"{type(f).__name__}-s{f.stream_id}"
+    )
+    def test_decodes_from_memoryview_window(self, frame):
+        buf = bytearray(4096)
+        n = encode_into(frame, buf)
+        decoded = decode(memoryview(buf)[:n])
+        assert type(decoded) is type(frame)
+        assert decoded.transfer_id == frame.transfer_id
+        assert decoded.stream_id == frame.stream_id
+
+    def test_buffer_too_small_raises_before_writing(self):
+        frame = DataFrame(7, 3, 10, b"hello world")
+        short = bytearray(HEADER_BYTES)  # header fits, payload does not
+        with pytest.raises(WireError, match="buffer"):
+            encode_into(frame, short)
+        assert bytes(short) == b"\x00" * len(short)  # nothing written
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(WireError):
+            encode_into(AckFrame(1, seq=0), bytearray(64), offset=-1)
+
+    def test_offset_past_end_rejected(self):
+        with pytest.raises(WireError):
+            encode_into(AckFrame(1, seq=0), bytearray(8), offset=4)
+
+    @given(
+        xfer=st.integers(0, 2**32 - 1),
+        stream=st.integers(0, 2**32 - 1),
+        payload=st.binary(max_size=1500),
+        offset=st.integers(0, 64),
+    )
+    @settings(max_examples=150)
+    def test_equivalence_property(self, xfer, stream, payload, offset):
+        frame = DataFrame(xfer, 0, 1, payload, stream_id=stream)
+        expected = encode(frame)
+        buf = bytearray(offset + len(expected))
+        assert encode_into(frame, buf, offset) == len(expected)
+        assert bytes(buf[offset:]) == expected

@@ -7,10 +7,9 @@ def wait_for_budget(quantum_s: float) -> None:
     time.sleep(quantum_s)
 
 
-def pump(sock):
-    datagram, sender = sock.recvfrom(2048)
-    return datagram, sender
-
-
 def pull_one(sock):
     return sock.recv(2048)
+
+
+def take_connection(sock):
+    return sock.accept()

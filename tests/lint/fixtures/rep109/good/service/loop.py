@@ -7,5 +7,5 @@ def pump(endpoint, core, now: float):
     return endpoint._recv_frame(timeout_s=wait)
 
 
-def send(endpoint, frame, addr) -> None:
-    endpoint.sock.sendto(frame, addr)
+def send(batch, frame, addr) -> None:
+    batch.send_frame(frame, addr)

@@ -1,0 +1,9 @@
+"""REP111 bad fixture: raw datagram syscalls bypassing the batch layer."""
+
+
+def blast(sock, payload, address) -> None:
+    sock.sendto(payload, address)
+
+
+def drain(sock, buffer):
+    return sock.recvfrom_into(buffer)

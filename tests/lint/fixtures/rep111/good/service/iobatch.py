@@ -1,0 +1,9 @@
+"""REP111 good fixture: the batch layer itself owns the raw syscalls."""
+
+
+def push(sock, payload, address) -> None:
+    sock.sendto(payload, address)
+
+
+def fill(sock, buffer):
+    return sock.recvfrom_into(buffer)

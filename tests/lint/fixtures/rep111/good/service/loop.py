@@ -1,0 +1,8 @@
+"""REP111 good fixture: service code sends through DatagramBatchIO."""
+
+
+def pump(batch, core, now: float) -> None:
+    for frame, address in core.drain_sends(now, 128):
+        batch.send_frame(frame, address)
+    for view, sender in batch.recv_batch():
+        core.on_frame(view, now, client=sender)

@@ -1,0 +1,10 @@
+"""REP111 good fixture: raw datagram I/O outside service/ is in scope
+of the endpoint layer's own policies, not this rule."""
+
+
+def push(sock, payload, address) -> None:
+    sock.sendto(payload, address)
+
+
+def pull_into(sock, buffer):
+    return sock.recvfrom_into(buffer)

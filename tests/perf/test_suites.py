@@ -24,7 +24,14 @@ GOLDEN_LEDGER = (
     Path(__file__).parents[2] / "benchmarks" / "results" / "perf_structure.txt"
 )
 
-AB_SUITES = ("des_events", "des_process", "codec_encode", "codec_decode")
+AB_SUITES = (
+    "des_events",
+    "des_process",
+    "codec_encode",
+    "codec_decode",
+    "service_udp_throughput",
+    "service_udp_clients",
+)
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +49,8 @@ def test_suite_registry_is_stable():
         "codec_decode",
         "conformance_cell",
         "service_run",
+        "service_udp_throughput",
+        "service_udp_clients",
     ]
 
 
@@ -79,6 +88,18 @@ def test_bench_payload_schema(results):
             assert entry["speedup_vs_baseline"] > 0
         else:
             assert "speedup_vs_baseline" not in entry
+
+
+def test_clients_suite_exports_goodput_extras(results):
+    payload = bench_payload(results, mode="smoke")
+    extras = payload["suites"]["service_udp_clients"]["extras"]
+    cells = extras["per_client_goodput"]
+    assert [cell["clients"] for cell in cells] == [4, 8, 16]
+    for cell in cells:
+        assert cell["ok"] == cell["clients"]
+        assert cell["per_client_goodput_bytes_per_s"] > 0
+    # extras are machine facts: bench JSON only, never the ledger.
+    assert "extras" not in render_ledger(results)
 
 
 def test_render_table_lists_every_suite(results):

@@ -1,0 +1,179 @@
+"""Unit tests for the batched zero-copy datagram I/O layer."""
+
+import socket
+
+import pytest
+
+from repro.core import AckFrame, DataFrame, decode, encode
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.socket import FaultySocket
+from repro.service.iobatch import BATCH_SLOTS, DatagramBatchIO
+
+
+@pytest.fixture
+def pair():
+    """Two bound loopback sockets: (a, b)."""
+    socks = []
+    for _ in range(2):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        socks.append(sock)
+    yield socks
+    for sock in socks:
+        sock.close()
+
+
+def _settle(sock, patience_s: float = 2.0) -> None:
+    """Block until ``sock`` has at least one readable datagram."""
+    import select
+
+    ready, _, _ = select.select([sock.fileno()], [], [], patience_s)
+    assert ready, "datagram never arrived on loopback"
+
+
+class TestRecvBatch:
+    def test_drains_queued_datagrams_in_order(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(b, ring_slots=8)
+        for index in range(5):
+            a.sendto(b"datagram-%d" % index, b.getsockname())
+        _settle(b)
+        batch = io.recv_batch()
+        # Loopback preserves order; all five were queued before the drain.
+        assert [bytes(view) for view, _ in batch] == [
+            b"datagram-%d" % index for index in range(5)
+        ]
+        assert all(sender == a.getsockname() for _, sender in batch)
+        assert io.recv_batch() == []  # queue empty, never blocks
+
+    def test_one_batch_caps_at_ring_slots(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(b, ring_slots=3)
+        for index in range(7):
+            a.sendto(bytes([index]), b.getsockname())
+        _settle(b)
+        first = io.recv_batch()
+        assert len(first) == 3
+        rest = io.recv_batch() + io.recv_batch()
+        assert len(first) + len(rest) == 7
+        assert io.datagrams_in == 7
+        assert io.recv_batches == 3
+
+    def test_views_alias_the_ring_until_next_batch(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(b, ring_slots=2)
+        a.sendto(b"first", b.getsockname())
+        _settle(b)
+        (view, _sender), = io.recv_batch()
+        held = bytes(view)  # decode() copies out exactly like this
+        a.sendto(b"other", b.getsockname())
+        _settle(b)
+        io.recv_batch()  # ring slot 0 is overwritten here
+        assert held == b"first"
+        assert bytes(view) == b"other"
+
+
+class TestSend:
+    def test_send_frame_matches_encode_bytes(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(a, ring_slots=1)
+        for frame in (DataFrame(7, 3, 10, b"hello", stream_id=4),
+                      AckFrame(9, seq=63)):
+            sent = io.send_frame(frame, b.getsockname())
+            _settle(b)
+            datagram, _ = b.recvfrom(65536)
+            assert datagram == encode(frame)
+            assert sent == len(datagram)
+            decoded = decode(datagram)
+            assert type(decoded) is type(frame)
+        assert io.datagrams_out == 2
+
+    def test_send_buffer_reuse_does_not_bleed_between_frames(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(a, ring_slots=1)
+        big = DataFrame(1, 0, 2, b"x" * 1000, stream_id=2)
+        small = DataFrame(1, 1, 2, b"y" * 10, stream_id=2)
+        io.send_frame(big, b.getsockname())
+        io.send_frame(small, b.getsockname())
+        _settle(b)
+        first, _ = b.recvfrom(65536)
+        second, _ = b.recvfrom(65536)
+        assert first == encode(big)
+        assert second == encode(small)  # no tail of the big frame
+
+    def test_send_datagram_passes_bytes_through(self, pair):
+        a, b = pair
+        io = DatagramBatchIO(a, ring_slots=1)
+        payload = b"pre-encoded control request"
+        assert io.send_datagram(payload, b.getsockname()) == len(payload)
+        _settle(b)
+        assert b.recvfrom(65536)[0] == payload
+
+
+class TestConstruction:
+    def test_rejects_empty_ring(self, pair):
+        with pytest.raises(ValueError, match="ring_slots"):
+            DatagramBatchIO(pair[0], ring_slots=0)
+
+    def test_rejects_empty_slots(self, pair):
+        with pytest.raises(ValueError, match="slot_bytes"):
+            DatagramBatchIO(pair[0], slot_bytes=0)
+
+    def test_default_ring_is_batch_slots(self, pair):
+        io = DatagramBatchIO(pair[0])
+        assert len(io._slots) == BATCH_SLOTS
+
+    def test_plain_socket_has_no_fault_hooks(self, pair):
+        io = DatagramBatchIO(pair[0])
+        assert io.has_ready is False
+        assert io.next_held_due() is None
+        assert io.flush_held() == 0
+
+
+class TestFaultComposition:
+    """The batch layer must route through FaultySocket's plan hooks."""
+
+    def _wrap(self, sock, rules):
+        plan = FaultPlan(name="test", rules=tuple(rules),
+                         description="iobatch test plan")
+        return FaultySocket(sock, plan=plan, seed=7)
+
+    def test_recv_duplicate_plan_yields_both_copies(self, pair):
+        a, b = pair
+        frame = DataFrame(3, 0, 1, b"payload", stream_id=1)
+        faulty = self._wrap(b, [FaultRule(action="duplicate", kinds=("data",),
+                                          direction="recv", first=0, last=0,
+                                          count=1)])
+        io = DatagramBatchIO(faulty, ring_slots=4)
+        a.sendto(encode(frame), b.getsockname())
+        _settle(b)
+        batch = io.recv_batch()
+        assert len(batch) == 2
+        assert all(bytes(view) == encode(frame) for view, _ in batch)
+
+    def test_recv_delay_holds_then_flushes(self, pair):
+        a, b = pair
+        frame = DataFrame(3, 0, 1, b"late", stream_id=1)
+        faulty = self._wrap(b, [FaultRule(action="delay", kinds=("data",),
+                                          direction="recv", indices=(0,),
+                                          delay_s=30.0)])
+        io = DatagramBatchIO(faulty, ring_slots=4)
+        a.sendto(encode(frame), b.getsockname())
+        _settle(b)
+        assert io.recv_batch() == []          # held by the plan, not lost
+        assert io.next_held_due() is not None  # bounds the loop's poll wait
+        assert io.flush_held() == 1            # deadline-expiry release
+        assert io.has_ready
+        (view, _sender), = io.recv_batch()
+        assert bytes(view) == encode(frame)
+
+    def test_drop_plan_swallows_datagram(self, pair):
+        a, b = pair
+        frame = DataFrame(3, 0, 1, b"doomed", stream_id=1)
+        faulty = self._wrap(b, [FaultRule(action="drop", kinds=("data",),
+                                          direction="recv", first=0, last=0)])
+        io = DatagramBatchIO(faulty, ring_slots=4)
+        a.sendto(encode(frame), b.getsockname())
+        _settle(b)
+        assert io.recv_batch() == []
+        assert faulty.recv_dropped == 1

@@ -12,6 +12,7 @@ import time
 import pytest
 
 from repro.faults.plans import builtin_plan
+from repro.service.clientpump import UdpClientPump
 from repro.service.engine import ServiceConfig
 from repro.service.loadgen import run_udp_loadgen
 from repro.service.udpservice import UdpServiceClient, UdpTransferService
@@ -102,3 +103,46 @@ class TestConcurrentClients:
         report = json.loads(result.report_json)
         assert report["summary"]["ok"] == 16
         assert report["summary"]["failed"] == 0
+
+
+class TestCanonicalDeterminism:
+    """The batched readiness loop must be outcome-deterministic."""
+
+    @staticmethod
+    def _canonical_run() -> str:
+        config = ServiceConfig(protocol="sliding", policy="rr",
+                               max_active=8, max_queue=64)
+        service = UdpTransferService(
+            config, fault_plan=builtin_plan("dup+reorder"), fault_seed=11)
+        thread = threading.Thread(
+            target=service.serve,
+            kwargs={"expected_streams": 16, "duration_s": 45.0},
+            daemon=True,
+        )
+        thread.start()
+        pump = UdpClientPump(service.address, [8192] * 16,
+                             protocol="sliding", recv_timeout_s=8.0)
+        try:
+            pulls = pump.run(overall_timeout_s=45.0)
+        finally:
+            service.stop()
+            thread.join(timeout=10.0)
+        canonical = service.canonical_report_json()
+        service.sock.close()
+        assert len(pulls) == 16 and all(p.ok for p in pulls.values()), {
+            s: (p.status, p.error) for s, p in pulls.items() if not p.ok
+        }
+        return canonical
+
+    def test_16_clients_dup_reorder_reports_are_byte_identical(self):
+        # Two full 16-client runs under the builtin dup+reorder plan on
+        # the batched loop: wall-clock jitter, batching boundaries, and
+        # fault timing may all differ, but the canonical outcome
+        # projection must not.
+        first = self._canonical_run()
+        second = self._canonical_run()
+        assert first == second
+        report = json.loads(first)
+        assert report["summary"]["ok"] == 16
+        assert report["summary"]["rejected"] == 0
+        assert [t["stream"] for t in report["transfers"]] == list(range(1, 17))
