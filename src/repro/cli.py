@@ -171,8 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     lint.add_argument(
+        "--changed", metavar="REF",
+        help="lint only files changed since the git ref (skips "
+        "whole-program rules)",
+    )
+    lint.add_argument(
+        "--paths", dest="path_patterns", metavar="PATTERNS",
+        help="comma-separated fnmatch patterns against package-relative "
+        "paths (skips whole-program rules)",
+    )
+    lint.add_argument(
         "--baseline", metavar="PATH",
         help="also write a rule-by-rule count ledger to PATH",
+    )
+    lint.add_argument(
+        "--fsm-matrix", metavar="PATH",
+        help="also write the REP114 FSM coverage matrix artifact to PATH",
     )
     lint.add_argument(
         "--external", action="store_true",
@@ -465,6 +479,9 @@ def _cmd_lint(args) -> int:
         ignore=args.ignore,
         baseline=args.baseline,
         external=args.external,
+        changed=args.changed,
+        path_patterns=args.path_patterns,
+        fsm_matrix=args.fsm_matrix,
     )
 
 

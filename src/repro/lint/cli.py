@@ -2,15 +2,16 @@
 ``python -m repro lint``.
 
 Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage error
-(unknown rule id, missing path).
+(unknown rule id, missing path, bad git ref).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set
 
 from .engine import UsageError, run_lint
 from .reporters import render_baseline, render_json, render_text
@@ -38,7 +39,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="replint: determinism & protocol-invariant linter "
-        "(rules REP101-REP110)",
+        "(rules REP101-REP115)",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -57,8 +58,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--changed", metavar="REF",
+        help="lint only files changed since the given git ref (plus "
+        "untracked files); whole-program rules are skipped",
+    )
+    parser.add_argument(
+        "--paths", dest="path_patterns", metavar="PATTERNS",
+        help="comma-separated fnmatch patterns against package-relative "
+        "paths (e.g. 'service/*,core/wire.py'); whole-program rules "
+        "are skipped",
+    )
+    parser.add_argument(
         "--baseline", metavar="PATH",
         help="also write a rule-by-rule count ledger to PATH",
+    )
+    parser.add_argument(
+        "--fsm-matrix", metavar="PATH",
+        help="also write the REP114 FSM coverage matrix artifact to PATH",
     )
     parser.add_argument(
         "--external", action="store_true",
@@ -66,6 +82,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(pip install .[lint]); missing tools are skipped with a notice",
     )
     return parser
+
+
+def _changed_files(ref: str) -> Set[Path]:
+    """Resolved paths of ``.py`` files touched since ``ref`` + untracked."""
+    import subprocess
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args], capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise UsageError(
+                f"git {' '.join(args)} failed: "
+                + (proc.stderr.strip() or f"exit {proc.returncode}")
+            )
+        return proc.stdout
+
+    top = Path(git("rev-parse", "--show-toplevel").strip())
+    names = git("diff", "--name-only", ref, "--").splitlines()
+    names += git("ls-files", "--others", "--exclude-standard").splitlines()
+    return {
+        (top / name).resolve()
+        for name in names
+        if name.endswith(".py")
+    }
+
+
+def _build_file_filter(
+    changed: Optional[str], path_patterns: Optional[str]
+) -> Optional[Callable[[Path, str], bool]]:
+    predicates: List[Callable[[Path, str], bool]] = []
+    if changed is not None:
+        changed_set = _changed_files(changed)
+        predicates.append(lambda path, unit: path.resolve() in changed_set)
+    if path_patterns is not None:
+        patterns = [p.strip() for p in path_patterns.split(",") if p.strip()]
+        if not patterns:
+            raise UsageError("--paths requires at least one pattern")
+        predicates.append(
+            lambda path, unit: any(
+                fnmatch.fnmatch(unit, pattern) for pattern in patterns
+            )
+        )
+    if not predicates:
+        return None
+    return lambda path, unit: all(pred(path, unit) for pred in predicates)
 
 
 def _run_external() -> int:
@@ -95,13 +157,18 @@ def lint_command(
     ignore: Optional[Sequence[str]] = None,
     baseline: Optional[str] = None,
     external: bool = False,
+    changed: Optional[str] = None,
+    path_patterns: Optional[str] = None,
+    fsm_matrix: Optional[str] = None,
 ) -> int:
     """Run the linter and print the report; returns the exit code."""
     try:
+        file_filter = _build_file_filter(changed, path_patterns)
         result = run_lint(
             list(paths) or list(DEFAULT_PATHS),
             select=_split_ids(select),
             ignore=_split_ids(ignore),
+            file_filter=file_filter,
         )
     except UsageError as exc:
         print(f"replint: error: {exc}", file=sys.stderr)
@@ -111,6 +178,17 @@ def lint_command(
             print(render_json(result))
         else:
             print(render_text(result))
+            if result.project_rules_skipped:
+                from .rules import all_rules
+
+                skipped = ", ".join(
+                    rule.id for rule in all_rules() if rule.project
+                )
+                print(
+                    "replint: note: subset run — whole-program rules "
+                    f"skipped ({skipped}); run without --changed/--paths "
+                    "for full coverage"
+                )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; the report is partial by
         # the reader's choice, so exit on the lint verdict, not a traceback.
@@ -121,6 +199,13 @@ def lint_command(
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(render_baseline(result))
         print(f"replint: baseline written to {path}")
+    if fsm_matrix:
+        from .fsm import matrix_for_paths
+
+        path = Path(fsm_matrix)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(matrix_for_paths(list(paths) or list(DEFAULT_PATHS)))
+        print(f"replint: FSM matrix written to {path}")
     exit_code = 0 if result.clean else 1
     if external:
         exit_code = max(exit_code, _run_external())
@@ -136,4 +221,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ignore=args.ignore,
         baseline=args.baseline,
         external=args.external,
+        changed=args.changed,
+        path_patterns=args.path_patterns,
+        fsm_matrix=args.fsm_matrix,
     )

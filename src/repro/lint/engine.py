@@ -65,6 +65,12 @@ class Violation:
     severity: str
     message: str
     fix_hint: str = ""
+    #: Rule family (meta/determinism/parallelism/numerics/robustness/
+    #: protocol/event-loop/performance) — surfaced in the v2 JSON report.
+    family: str = ""
+    #: Call-chain witness for transitive findings (REP112/REP113):
+    #: ``(entry_qname, ..., sink_label)``.  Empty for direct findings.
+    chain: Tuple[str, ...] = ()
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -114,6 +120,9 @@ class LintResult:
     files_checked: int
     suppressed: int
     counts: Dict[str, int]
+    #: True when a subset run (``--changed``/``--paths``) skipped the
+    #: whole-program rules — the run proves less than a full one.
+    project_rules_skipped: bool = False
 
     @property
     def clean(self) -> bool:
@@ -218,6 +227,7 @@ def _scan_suppressions(
                         ),
                         fix_hint="valid ids are "
                         + ", ".join(sorted(known_ids)),
+                        family="meta",
                     )
                 )
                 continue
@@ -255,11 +265,18 @@ def run_lint(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     rules=None,
+    file_filter=None,
 ) -> LintResult:
     """Lint every python file under ``paths`` and return the result.
 
     ``select``/``ignore`` are iterables of rule ids; naming an unknown id
     raises :class:`UsageError` (the CLI maps that to exit code 2).
+
+    ``file_filter`` — an optional ``(path, unit) -> bool`` predicate —
+    restricts the run to a subset of discovered files (``--changed``,
+    ``--paths``).  Subset runs skip every whole-program rule: a call
+    graph over a partial context set would silently under-report, so
+    the result carries ``project_rules_skipped=True`` instead.
     """
     if rules is None:
         from .rules import all_rules
@@ -272,6 +289,10 @@ def run_lint(
     violations: List[Violation] = []
     files_checked = 0
     for root, path in iter_python_files([Path(p) for p in paths]):
+        if file_filter is not None and not file_filter(
+            path, _unit_path(Path(root), path)
+        ):
+            continue
         text = path.read_text(encoding="utf-8")
         files_checked += 1
         try:
@@ -287,6 +308,7 @@ def run_lint(
                     message=f"file does not parse: {exc.msg}",
                     fix_hint="fix the syntax error; unparseable files "
                     "cannot be analysed",
+                    family="meta",
                 )
             )
             continue
@@ -297,8 +319,9 @@ def run_lint(
     for ctx in contexts:
         for rule in active:
             violations.extend(rule.check_file(ctx))
-    for rule in active:
-        violations.extend(rule.check_project(contexts))
+    if file_filter is None:
+        for rule in active:
+            violations.extend(rule.check_project(contexts))
 
     by_display = {ctx.display: ctx.suppressions for ctx in contexts}
     kept: List[Violation] = []
@@ -319,4 +342,5 @@ def run_lint(
         files_checked=files_checked,
         suppressed=suppressed,
         counts=counts,
+        project_rules_skipped=file_filter is not None,
     )

@@ -74,6 +74,8 @@ def _requests_replies(node) -> bool:
 class ProtocolExhaustivenessRule(Rule):
     id = "REP108"
     severity = "error"
+    family = "protocol"
+    project = True
     title = "frame type declared but not handled by the protocol layer"
     fix_hint = (
         "handle the frame type in every layer that can see it (protocol "

@@ -3,6 +3,15 @@
 The JSON schema is versioned and covered by a golden-file test — treat
 any key change as a schema bump (``SCHEMA_VERSION``), because CI
 tooling downstream parses it.
+
+Schema history:
+
+- **v1** — path/line/col/rule/severity/message/fix_hint per violation.
+- **v2** — adds ``family`` (rule family) and ``chain`` (call-chain
+  witness for transitive REP112/REP113 findings) per violation, plus a
+  top-level ``project_rules_skipped`` flag for subset runs.  v1 reports
+  lack the fields v2 consumers rely on, so :func:`load_report` rejects
+  them loudly instead of mis-parsing.
 """
 
 from __future__ import annotations
@@ -11,9 +20,15 @@ import json
 
 from .engine import LintResult
 
-__all__ = ["SCHEMA_VERSION", "render_text", "render_json", "render_baseline"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_report",
+    "render_text",
+    "render_json",
+    "render_baseline",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult, verbose_hints: bool = True) -> str:
@@ -47,6 +62,7 @@ def render_json(result: LintResult) -> str:
         "schema_version": SCHEMA_VERSION,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "project_rules_skipped": result.project_rules_skipped,
         "counts": result.counts,
         "violations": [
             {
@@ -57,11 +73,34 @@ def render_json(result: LintResult) -> str:
                 "severity": v.severity,
                 "message": v.message,
                 "fix_hint": v.fix_hint,
+                "family": v.family,
+                "chain": list(v.chain),
             }
             for v in result.violations
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_report(text: str) -> dict:
+    """Parse a replint JSON report, rejecting schema mismatches loudly.
+
+    Downstream tooling must never mis-parse an old report as a new one:
+    a v1 report has no ``family``/``chain`` fields, so treating it as v2
+    would silently drop every call-chain witness.  Anything but the
+    current ``SCHEMA_VERSION`` raises :class:`ValueError`.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("schema") != "replint-report":
+        raise ValueError("not a replint report (missing schema marker)")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported replint report schema_version={version!r}: this "
+            f"reader requires v{SCHEMA_VERSION} (v1 reports lack the "
+            "family/chain fields — regenerate with the current linter)"
+        )
+    return payload
 
 
 def render_baseline(result: LintResult) -> str:

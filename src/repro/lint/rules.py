@@ -33,6 +33,12 @@ class Rule:
     severity: str = "error"
     title: str = ""
     fix_hint: str = ""
+    #: Rule family, surfaced in the v2 JSON report: meta, determinism,
+    #: parallelism, numerics, robustness, protocol, event-loop, performance.
+    family: str = ""
+    #: True for rules that need the whole context set (``check_project``);
+    #: subset runs (``--changed``/``--paths``) skip these and say so.
+    project: bool = False
 
     def check_file(self, ctx: FileContext) -> Iterable[Violation]:
         return ()
@@ -40,7 +46,9 @@ class Rule:
     def check_project(self, ctxs: Sequence[FileContext]) -> Iterable[Violation]:
         return ()
 
-    def violation(self, ctx: FileContext, node, message: str) -> Violation:
+    def violation(
+        self, ctx: FileContext, node, message: str, chain: Sequence[str] = ()
+    ) -> Violation:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Violation(
@@ -51,6 +59,8 @@ class Rule:
             severity=self.severity,
             message=message,
             fix_hint=self.fix_hint,
+            family=self.family,
+            chain=tuple(chain),
         )
 
 
@@ -101,6 +111,7 @@ class ImportMap:
 class UnseededRandomRule(Rule):
     id = "REP101"
     severity = "error"
+    family = "determinism"
     title = "unseeded RNG construction or global-RNG call"
     fix_hint = (
         "seed every RNG explicitly (random.Random(seed)); derive child "
@@ -161,6 +172,7 @@ class UnseededRandomRule(Rule):
 class WallClockRule(Rule):
     id = "REP102"
     severity = "error"
+    family = "determinism"
     title = "wall-clock read inside simulated-time code"
     fix_hint = (
         "use the simulation clock (env.now / env.timeout); wall-clock "
@@ -256,6 +268,7 @@ def _infer_kind(value, env: Dict[str, str]) -> Optional[str]:
 class UnorderedIterationRule(Rule):
     id = "REP103"
     severity = "warning"
+    family = "determinism"
     title = "order-sensitive iteration over a hash-ordered collection"
     fix_hint = (
         "wrap the collection in sorted(...) before iterating, or use an "
@@ -355,6 +368,7 @@ class UnorderedIterationRule(Rule):
 class PickleBoundaryRule(Rule):
     id = "REP104"
     severity = "error"
+    family = "parallelism"
     title = "lambda/closure shipped across the process-pool boundary"
     fix_hint = (
         "move the callable to module level so it pickles by reference "
@@ -437,6 +451,7 @@ class PickleBoundaryRule(Rule):
 class EnvReadRule(Rule):
     id = "REP105"
     severity = "warning"
+    family = "determinism"
     title = "os.environ read outside the configuration boundary"
     fix_hint = (
         "thread configuration through explicit parameters; os.environ is "
@@ -475,6 +490,7 @@ class EnvReadRule(Rule):
 class FloatEqualityRule(Rule):
     id = "REP106"
     severity = "warning"
+    family = "numerics"
     title = "float ==/!= comparison in an analysis formula"
     fix_hint = (
         "use math.isclose(), an inequality guard (<=/>=), or integer "
@@ -510,6 +526,7 @@ class FloatEqualityRule(Rule):
 class DefensiveDefaultsRule(Rule):
     id = "REP107"
     severity = "warning"
+    family = "robustness"
     title = "mutable default argument or bare except"
     fix_hint = (
         "default to None and build the container inside the function; "
@@ -555,6 +572,31 @@ class DefensiveDefaultsRule(Rule):
 # REP109 — blocking calls in service event-loop code
 # ---------------------------------------------------------------------------
 
+def _unbounded_select(node: ast.Call) -> bool:
+    """True when a ``.select(...)`` call can wait forever.
+
+    ``selector.select()`` and ``selector.select(None)`` block without
+    bound, as does 3-argument ``select.select(r, w, x)`` or a 4th/
+    ``timeout=`` argument that is literally ``None``.  Calls forwarding
+    ``**kwargs`` are left alone — the timeout is someone else's to prove.
+    """
+    if any(kw.arg is None for kw in node.keywords):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "timeout":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    n = len(node.args)
+    if n == 0:
+        return True
+    if n == 1:
+        return isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    if n == 3:
+        return True
+    if n == 4:
+        return isinstance(node.args[3], ast.Constant) and node.args[3].value is None
+    return False
+
+
 class BlockingServiceCallRule(Rule):
     """The concurrent service multiplexes every transfer over one thread;
     a single unbounded wait stalls *all* of them.  Inside ``service/``,
@@ -565,6 +607,7 @@ class BlockingServiceCallRule(Rule):
 
     id = "REP109"
     severity = "error"
+    family = "event-loop"
     title = "blocking call in service event-loop code"
     fix_hint = (
         "bound every wait with core.next_deadline(): use "
@@ -596,6 +639,15 @@ class BlockingServiceCallRule(Rule):
                     node,
                     f".{node.func.attr}() blocks the shared event loop; "
                     "use _recv_frame(timeout_s=...) so the wait is bounded",
+                )
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "select"
+                    and _unbounded_select(node)):
+                yield self.violation(
+                    ctx,
+                    node,
+                    ".select() without a finite timeout parks the shared "
+                    "event loop forever; pass next_deadline()-bounded wait",
                 )
 
 
@@ -688,6 +740,7 @@ class SlotsDisciplineRule(Rule):
 
     id = "REP110"
     severity = "error"
+    family = "performance"
     title = "attribute created outside __init__ in a __slots__ class"
     fix_hint = (
         "declare the attribute in __slots__ and assign it in __init__ "
@@ -822,6 +875,7 @@ class DirectSocketIORule(Rule):
 
     id = "REP111"
     severity = "error"
+    family = "performance"
     title = "direct datagram socket I/O outside the batch layer"
     fix_hint = (
         "route datagrams through service/iobatch.py's DatagramBatchIO "
@@ -854,8 +908,362 @@ class DirectSocketIORule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# REP112 — transitive blocking calls reachable from service entry points
+# ---------------------------------------------------------------------------
+
+class TransitiveBlockingRule(Rule):
+    """REP109 stops at file boundaries: a helper in ``core/`` or
+    ``util/`` that wraps ``time.sleep`` is invisible to it, yet one call
+    from ``ServiceCore.poll`` stalls every multiplexed transfer just the
+    same.  This rule walks the project call graph from every event-loop
+    entry point in ``service/`` and reports any reachable blocking sink
+    — with the full call chain as a witness, so the report names the
+    hop that smuggled the wait in.  Sinks *inside* ``service/`` are
+    REP109's jurisdiction and are not re-reported here.
+    """
+
+    id = "REP112"
+    severity = "error"
+    family = "event-loop"
+    project = True
+    title = "blocking call reachable from a service event-loop entry point"
+    fix_hint = (
+        "break the chain: bound the wait at the sink (timeout arg, "
+        "next_deadline()) or stop calling the blocking helper from "
+        "event-loop code"
+    )
+
+    _ENTRY_NAMES = frozenset((
+        "poll",
+        "on_frame",
+        "serve",
+        "run",
+        "pull",
+        "drain_sends",
+        "next_frame",
+        "on_timer",
+        "on_readable",
+        "serve_one",
+    ))
+    _BLOCKING_ATTRS = frozenset(("recv", "recvfrom", "recv_into", "accept"))
+
+    def check_project(self, ctxs: Sequence[FileContext]) -> Iterator[Violation]:
+        from .callgraph import build_call_graph
+
+        graph = build_call_graph(ctxs)
+        for qname in sorted(graph.functions):
+            fn = graph.functions[qname]
+            if not fn.unit.startswith("service/"):
+                continue
+            if fn.name not in self._ENTRY_NAMES:
+                continue
+            for chain, _site in graph.find_chains(qname, self._is_sink):
+                yield self.violation(
+                    fn.ctx,
+                    fn.node,
+                    f"entry point {fn.qual}() can block: "
+                    + " -> ".join(chain),
+                    chain=chain,
+                )
+
+    @staticmethod
+    def _is_sink(site, owner) -> bool:
+        if owner.unit.startswith("service/"):
+            return False  # direct sites in service/ are REP109's
+        if site.kind == "external" and site.target == "time.sleep":
+            return True
+        if site.kind == "attr":
+            if site.target in TransitiveBlockingRule._BLOCKING_ATTRS:
+                return True
+            if site.target == "select" and _unbounded_select(site.node):
+                return True
+        if site.kind == "external" and site.target.endswith(".select") \
+                and _unbounded_select(site.node):
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REP113 — RNG seed provenance in stochastic subsystems
+# ---------------------------------------------------------------------------
+
+class SeedProvenanceRule(Rule):
+    """REP101 catches a *global* RNG draw in the file where it happens;
+    it cannot see a constant-seeded ``random.Random(1234)`` (every run
+    identical, but immune to ``--seed``), a module object passed around
+    as if it were an RNG instance, or a scoped subsystem laundering its
+    randomness through a helper in the REP101-exempt ``benchmarks/``
+    tree.  Stochastic subsystems (``sim/``, ``simnet/``, ``faults/``,
+    ``workloads/``, ``parallel/``) must draw every bit of randomness
+    from a seeded ``random.Random`` whose seed *flows in* as data.
+    """
+
+    id = "REP113"
+    severity = "error"
+    family = "determinism"
+    project = True
+    title = "RNG whose seed does not flow from caller-provided data"
+    fix_hint = (
+        "accept a seed (or rng) parameter and build random.Random(seed) "
+        "from it — derive child seeds with repro.parallel.mix_seed; "
+        "never hard-code a seed or pass the random module itself"
+    )
+
+    _SCOPES = ("sim", "simnet", "faults", "workloads", "parallel")
+    _RNG_MODULES = ("random", "numpy.random")
+    _NUMPY_CONSTRUCTORS = UnseededRandomRule._NUMPY_CONSTRUCTORS
+
+    def check_project(self, ctxs: Sequence[FileContext]) -> Iterator[Violation]:
+        from .callgraph import build_call_graph
+
+        scoped = [
+            ctx for ctx in ctxs
+            if any(ctx.in_dir(scope) for scope in self._SCOPES)
+        ]
+        for ctx in scoped:
+            yield from self._check_direct(ctx)
+        graph = build_call_graph(ctxs)
+        scoped_units = {ctx.unit for ctx in scoped}
+        for qname in sorted(graph.functions):
+            fn = graph.functions[qname]
+            if fn.unit not in scoped_units:
+                continue
+            for chain, _site in graph.find_chains(qname, self._is_sink):
+                if len(chain) < 3:
+                    continue  # direct sites are REP101/_check_direct's
+                yield self.violation(
+                    fn.ctx,
+                    fn.node,
+                    f"{fn.qual}() reaches a global-RNG draw through an "
+                    "exempt helper: " + " -> ".join(chain),
+                    chain=chain,
+                )
+
+    def _check_direct(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved == "random.Random" and (node.args or node.keywords):
+                feeds = list(node.args) + [kw.value for kw in node.keywords]
+                if not any(self._carries_data(arg) for arg in feeds):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "random.Random seeded with a hard-coded constant — "
+                        "the seed must flow in from the caller",
+                    )
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and \
+                        imports.resolve(arg) in self._RNG_MODULES:
+                    yield self.violation(
+                        ctx,
+                        arg,
+                        f"the {imports.resolve(arg)} module itself is passed "
+                        "as an RNG — pass a seeded random.Random instance",
+                    )
+
+    @staticmethod
+    def _carries_data(node) -> bool:
+        """True when the seed expression references any variable."""
+        return any(
+            isinstance(sub, (ast.Name, ast.Attribute))
+            for sub in ast.walk(node)
+        )
+
+    @classmethod
+    def _is_sink(cls, site, owner) -> bool:
+        if site.kind != "external":
+            return False
+        if not owner.unit.startswith("benchmarks/"):
+            return False  # non-exempt units: REP101 already fires there
+        for mod in cls._RNG_MODULES:
+            if site.target.startswith(mod + "."):
+                tail = site.target.rsplit(".", 1)[1]
+                if mod == "random":
+                    return tail != "Random"
+                return tail not in cls._NUMPY_CONSTRUCTORS
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REP115 — recv-ring buffer escape in service code
+# ---------------------------------------------------------------------------
+
+class BufferEscapeRule(Rule):
+    """``DatagramBatchIO.recv_batch`` yields ``memoryview``\\ s into a
+    preallocated ring that is *recycled on the next drain*: a view that
+    outlives the loop iteration silently aliases future datagrams.  Any
+    ring view stored on ``self``, appended to a container, or returned
+    must first be materialised — ``bytes(view)`` or ``decode(view)``
+    both copy.  The taint analysis is per-function and treats every
+    call as laundering (a copy), so the sanctioned patterns stay quiet.
+    """
+
+    id = "REP115"
+    severity = "error"
+    family = "performance"
+    title = "recv-ring memoryview escapes its batch iteration"
+    fix_hint = (
+        "materialise before storing: bytes(view) or decode(view) copy "
+        "the datagram out of the recycled ring slot"
+    )
+
+    _EXEMPT_UNIT = "service/iobatch.py"
+    _SINK_METHODS = frozenset((
+        "append",
+        "add",
+        "insert",
+        "extend",
+        "appendleft",
+        "put",
+        "put_nowait",
+    ))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dir("service") or ctx.unit == self._EXEMPT_UNIT:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx, func) -> Iterator[Violation]:
+        tainted: set = set()
+        yield from self._scan_block(ctx, func.body, tainted)
+
+    def _scan_block(self, ctx, body, tainted) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs get their own pass
+            yield from self._scan_statement(ctx, stmt, tainted)
+
+    def _scan_statement(self, ctx, stmt, tainted) -> Iterator[Violation]:
+        if isinstance(stmt, ast.Assign):
+            value_tainted = self._tainted_value(stmt.value, tainted)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if value_tainted:
+                        tainted.add(target.id)
+                    else:
+                        tainted.discard(target.id)
+                elif isinstance(target, (ast.Attribute, ast.Subscript)) \
+                        and value_tainted:
+                    yield self.violation(
+                        ctx,
+                        target,
+                        "ring-slot memoryview stored beyond the batch "
+                        "iteration — the slot is recycled on the next "
+                        "recv_batch()",
+                    )
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, (ast.Attribute, ast.Subscript)) \
+                    and self._tainted_value(stmt.value, tainted):
+                yield self.violation(
+                    ctx,
+                    stmt.target,
+                    "ring-slot memoryview accumulated into long-lived "
+                    "state — copy with bytes(view) first",
+                )
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            if self._tainted_value(stmt.value, tainted):
+                yield self.violation(
+                    ctx,
+                    stmt.value,
+                    "ring-slot memoryview returned to the caller — it "
+                    "aliases a buffer recycled on the next recv_batch()",
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if self._is_batch_source(stmt.iter, tainted):
+                self._taint_loop_target(stmt.target, tainted)
+            yield from self._scan_block(ctx, stmt.body, tainted)
+            yield from self._scan_block(ctx, stmt.orelse, tainted)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            yield from self._scan_block(ctx, stmt.body, tainted)
+            yield from self._scan_block(ctx, stmt.orelse, tainted)
+        elif isinstance(stmt, ast.With):
+            yield from self._scan_block(ctx, stmt.body, tainted)
+        elif isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                yield from self._scan_block(ctx, block, tainted)
+            for handler in stmt.handlers:
+                yield from self._scan_block(ctx, handler.body, tainted)
+        elif isinstance(stmt, ast.Expr):
+            yield from self._check_sink_call(ctx, stmt.value, tainted)
+
+    def _check_sink_call(self, ctx, node, tainted) -> Iterator[Violation]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._SINK_METHODS
+        ):
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if self._expr_tainted(arg, tainted):
+                yield self.violation(
+                    ctx,
+                    arg,
+                    f".{node.func.attr}() keeps a ring-slot memoryview "
+                    "alive past the batch iteration — copy it first",
+                )
+
+    # -- taint helpers -----------------------------------------------------
+    @staticmethod
+    def _is_recv_batch_call(node) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "recv_batch"
+        )
+
+    def _is_batch_source(self, node, tainted) -> bool:
+        if self._is_recv_batch_call(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in tainted
+
+    @staticmethod
+    def _taint_loop_target(target, tainted) -> None:
+        """The ring view is the first element of each yielded pair."""
+        if isinstance(target, ast.Name):
+            tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+            first = target.elts[0]
+            if isinstance(first, ast.Name):
+                tainted.add(first.id)
+
+    def _tainted_value(self, node, tainted) -> bool:
+        if self._is_recv_batch_call(node):
+            return True
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            gen = node.generators[0]
+            if self._is_batch_source(gen.iter, tainted):
+                loop_vars = {
+                    n.id
+                    for n in ast.walk(gen.target)
+                    if isinstance(n, ast.Name)
+                }
+                return self._expr_tainted(node.elt, tainted | loop_vars)
+            return False
+        return self._expr_tainted(node, tainted)
+
+    @staticmethod
+    def _expr_tainted(node, tainted) -> bool:
+        """Does the expression carry taint?  Calls launder (they copy)."""
+        stack = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                return True
+            stack.extend(ast.iter_child_nodes(sub))
+        return False
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP111 in order."""
+    """One instance of every replint rule, REP101..REP115 in order."""
+    from .fsm import FsmExhaustivenessRule
     from .protocol import ProtocolExhaustivenessRule
 
     return [
@@ -870,6 +1278,10 @@ def all_rules() -> List[Rule]:
         BlockingServiceCallRule(),
         SlotsDisciplineRule(),
         DirectSocketIORule(),
+        TransitiveBlockingRule(),
+        SeedProvenanceRule(),
+        FsmExhaustivenessRule(),
+        BufferEscapeRule(),
     ]
 
 

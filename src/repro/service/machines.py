@@ -35,7 +35,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.frames import AckFrame, DataFrame, NakFrame
+from ..core.frames import AckFrame, DataFrame, FrameKind, NakFrame
 from ..core.strategies import FailureDetection, get_strategy
 from ..core.tracker import ReceiverTracker, ReceptionReport
 from ..parallel.pool import mix_seed
@@ -144,6 +144,10 @@ class BlastSenderMachine(_SenderBase):
     back to the strategy's no-report behaviour (full retransmission).
     """
 
+    #: Control traffic is ServiceCore's business, not the per-stream
+    #: machine's (checked by replint REP114).
+    FSM_IGNORES = (FrameKind.CONTROL,)
+
     def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
                  timeout_s: float, max_rounds: int = 60,
                  strategy: str = "selective"):
@@ -219,6 +223,10 @@ class WindowSenderMachine(_SenderBase):
     timer expires, with a per-packet attempt cap standing in for the
     blast machine's round cap.
     """
+
+    #: Per-packet acknowledgement needs no NAK reports, and control
+    #: traffic is ServiceCore's business (replint REP114).
+    FSM_IGNORES = (FrameKind.NAK, FrameKind.CONTROL)
 
     def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
                  timeout_s: float, max_rounds: int = 60, window: int = 4):
@@ -315,6 +323,9 @@ class ReceiverMachine:
     ACK when complete, NAK with the reception report when the sender's
     strategy listens for one, silence for the timer-only strategy.
     """
+
+    #: Control traffic is ServiceCore's business (replint REP114).
+    FSM_IGNORES = (FrameKind.CONTROL,)
 
     def __init__(self, stream_id: int, per_packet_ack: bool, nak: bool):
         self.stream_id = stream_id

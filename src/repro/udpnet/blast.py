@@ -11,7 +11,7 @@ import time
 from typing import List, Optional, Tuple, Union
 
 from ..core.base import packetize, reassemble
-from ..core.frames import AckFrame, DataFrame, NakFrame, with_reply_flag
+from ..core.frames import AckFrame, DataFrame, FrameKind, NakFrame, with_reply_flag
 from ..core.strategies import (
     FailureDetection,
     RetransmissionStrategy,
@@ -27,6 +27,10 @@ __all__ = ["BlastSender", "BlastReceiver"]
 
 class BlastSender(UdpEndpoint):
     """Blast sender with a pluggable retransmission strategy."""
+
+    #: Control frames belong to the file-service layer built on top
+    #: (replint REP114).
+    FSM_IGNORES = (FrameKind.CONTROL,)
 
     def send(
         self,
@@ -126,6 +130,10 @@ class BlastSender(UdpEndpoint):
 
 class BlastReceiver(UdpEndpoint):
     """Blast receiver; behaviour depends on whether NAKs are enabled."""
+
+    #: Control frames belong to the file-service layer built on top
+    #: (replint REP114).
+    FSM_IGNORES = (FrameKind.CONTROL,)
 
     def serve_one(
         self,

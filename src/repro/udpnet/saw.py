@@ -13,7 +13,7 @@ import time
 from typing import Optional, Tuple
 
 from ..core.base import packetize, reassemble
-from ..core.frames import AckFrame, DataFrame, with_reply_flag
+from ..core.frames import AckFrame, DataFrame, FrameKind, with_reply_flag
 from ..core.timers import FixedTimeout, TimeoutPolicy
 from ..core.tracker import ReceiverTracker
 from ..core.wire import encode
@@ -24,6 +24,10 @@ __all__ = ["SawSender", "PerPacketAckReceiver"]
 
 class SawSender(UdpEndpoint):
     """Stop-and-wait sender."""
+
+    #: Stop-and-wait never uses NAK reports, and control frames belong
+    #: to the file-service layer (replint REP114).
+    FSM_IGNORES = (FrameKind.NAK, FrameKind.CONTROL)
 
     def send(
         self,
@@ -90,6 +94,10 @@ class SawSender(UdpEndpoint):
 
 class PerPacketAckReceiver(UdpEndpoint):
     """Receiver that acknowledges every data packet (SAW and SW)."""
+
+    #: Per-packet acknowledgement needs no NAK reports, and control
+    #: frames belong to the file-service layer (replint REP114).
+    FSM_IGNORES = (FrameKind.NAK, FrameKind.CONTROL)
 
     def serve_one(
         self,

@@ -12,7 +12,7 @@ import time
 from typing import Optional, Set, Tuple
 
 from ..core.base import packetize
-from ..core.frames import AckFrame, with_reply_flag
+from ..core.frames import AckFrame, FrameKind, with_reply_flag
 from ..core.timers import FixedTimeout, TimeoutPolicy
 from ..core.wire import encode
 from .endpoints import UdpEndpoint, UdpTransferOutcome
@@ -23,6 +23,10 @@ __all__ = ["SlidingWindowSender", "PerPacketAckReceiver"]
 
 class SlidingWindowSender(UdpEndpoint):
     """Never-closing-window sender with selective-repeat recovery."""
+
+    #: Recovery is selective-repeat on ACK gaps — no NAK reports — and
+    #: control frames belong to the file-service layer (replint REP114).
+    FSM_IGNORES = (FrameKind.NAK, FrameKind.CONTROL)
 
     def send(
         self,

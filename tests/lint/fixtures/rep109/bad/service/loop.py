@@ -13,3 +13,12 @@ def pull_one(sock):
 
 def take_connection(sock):
     return sock.accept()
+
+
+def spin(selector):
+    # No timeout at all: parks the shared loop until a frame shows up.
+    return selector.select()
+
+
+def spin_forever(selector):
+    return selector.select(None)

@@ -1,0 +1,9 @@
+"""REP109 good fixture: the client pump mirrors the real pull loop —
+one bounded selector wait over many client sockets."""
+
+
+def pull(selector, io, core, deadline_s: float, now: float):
+    wait = max(min(deadline_s - now, 0.05), 0.0)
+    for _key, _mask in selector.select(wait):
+        for view, sender in io.recv_batch():
+            core.on_frame(view, now, client=sender)

@@ -9,3 +9,11 @@ def pump(endpoint, core, now: float):
 
 def send(batch, frame, addr) -> None:
     batch.send_frame(frame, addr)
+
+
+def wait_bounded(selector, wait: float):
+    return selector.select(wait)
+
+
+def wait_writable(select_mod, fd, wait_s: float):
+    return select_mod.select([], [fd], [], wait_s)

@@ -1,0 +1,11 @@
+"""REP111 good fixture: client-side sends also go through the batch
+layer (the real clientpump.py pattern), never raw sendto."""
+
+
+def push(io, frames, address) -> None:
+    for frame in frames:
+        io.send_frame(frame, address)
+
+
+def flush(io) -> None:
+    io.flush_held()

@@ -1,0 +1,14 @@
+"""REP112 bad fixture: the event loop itself looks clean — every
+blocking primitive hides one call away in util.helpers."""
+
+from util.helpers import drain, settle
+
+
+class Core:
+    def poll(self, now: float) -> float:
+        settle()
+        return now
+
+    def run(self, sock) -> None:
+        while True:
+            drain(sock)

@@ -1,0 +1,15 @@
+"""Helpers that wrap blocking primitives (outside REP109's scope)."""
+
+import time
+
+
+def nap() -> None:
+    time.sleep(0.01)
+
+
+def settle() -> None:
+    nap()
+
+
+def drain(sock) -> bytes:
+    return sock.recv(4096)

@@ -1,0 +1,9 @@
+"""REP112 good fixture: helpers reached from the loop never block."""
+
+from util.helpers import settle_bounded
+
+
+class Core:
+    def poll(self, selector, wait: float) -> float:
+        selector.select(wait)
+        return settle_bounded(wait)

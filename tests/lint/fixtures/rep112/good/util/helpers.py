@@ -1,0 +1,12 @@
+"""Helpers: one bounded, one blocking but unreachable from the loop."""
+
+import time
+
+
+def settle_bounded(wait: float) -> float:
+    return min(wait, 0.05)
+
+
+def offline_tool() -> None:
+    # Blocking is fine here: nothing in service/ can reach this.
+    time.sleep(0.5)

@@ -1,0 +1,7 @@
+"""Global-RNG helper living in the REP101-exempt benchmarks tree."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random() - 0.5

@@ -1,0 +1,23 @@
+"""REP113 bad fixture: three ways a seed fails to flow from the caller."""
+
+import random
+
+from benchmarks.noise import jitter
+
+
+def constant_rng() -> int:
+    rng = random.Random(1234)
+    return rng.randrange(10)
+
+
+def shuffle_with(samples, rng):
+    rng.shuffle(samples)
+    return samples
+
+
+def module_passthrough(samples):
+    return shuffle_with(samples, random)
+
+
+def noisy_sizes(base: int):
+    return [base + jitter() for _ in range(4)]

@@ -1,0 +1,5 @@
+"""Deterministic child-seed derivation (no RNG of its own)."""
+
+
+def derive(seed: int, index: int) -> int:
+    return (seed * 1_000_003 + index) % (2 ** 63)

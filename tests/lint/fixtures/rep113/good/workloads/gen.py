@@ -1,0 +1,18 @@
+"""REP113 good fixture: every RNG's seed flows in from the caller."""
+
+import random
+
+from parallel.mix import derive
+
+
+def sized_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def indexed_rng(seed: int, index: int) -> random.Random:
+    return random.Random(derive(seed, index))
+
+
+def shuffled(samples, rng: random.Random):
+    rng.shuffle(samples)
+    return list(samples)

@@ -1,0 +1,43 @@
+"""REP114 bad fixture: three distinct model-check failures."""
+
+from core.frames import AckFrame, DataFrame, FrameKind, NakFrame
+
+
+class LeakySender:
+    """Neither handles, speaks, nor ignores NAK — exhaustiveness gap."""
+
+    def push(self, seq: int, payload: bytes) -> DataFrame:
+        return DataFrame(seq, payload)
+
+    def on_frame(self, frame) -> bool:
+        return isinstance(frame, AckFrame)
+
+
+class CarefulSender:
+    """Declares DATA ignored while its own body dispatches on it."""
+
+    FSM_IGNORES = (FrameKind.DATA,)
+
+    def on_frame(self, frame) -> str:
+        if isinstance(frame, DataFrame):
+            return "data"
+        if isinstance(frame, (AckFrame, NakFrame)):
+            return "reply"
+        return "other"
+
+
+class ResettingSender:
+    """Terminal flag resurrected outside the constructor."""
+
+    FSM_IGNORES = (FrameKind.NAK,)
+
+    def __init__(self) -> None:
+        self.done = False
+        self.outbox = DataFrame(0, b"")
+
+    def finish(self) -> None:
+        self.done = True
+
+    def on_frame(self, frame) -> None:
+        if isinstance(frame, AckFrame):
+            self.done = False

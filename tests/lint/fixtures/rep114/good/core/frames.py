@@ -1,0 +1,25 @@
+"""Minimal frame vocabulary for the REP114 good fixture (3 kinds)."""
+
+import enum
+
+
+class FrameKind(enum.IntEnum):
+    DATA = 1
+    ACK = 2
+    NAK = 3
+
+
+class DataFrame:
+    def __init__(self, seq: int, payload: bytes):
+        self.seq = seq
+        self.payload = payload
+
+
+class AckFrame:
+    def __init__(self, seq: int):
+        self.seq = seq
+
+
+class NakFrame:
+    def __init__(self, missing):
+        self.missing = tuple(missing)

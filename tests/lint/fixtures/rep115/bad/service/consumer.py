@@ -1,0 +1,21 @@
+"""REP115 bad fixture: ring-slot views escaping the batch iteration."""
+
+
+class Sink:
+    def __init__(self, io) -> None:
+        self.io = io
+        self.stash = []
+        self.last = None
+
+    def hoard(self) -> None:
+        for view, _sender in self.io.recv_batch():
+            self.stash.append(view)
+
+    def remember(self) -> None:
+        for view, _sender in self.io.recv_batch():
+            self.last = view
+
+    def first(self):
+        for view, _sender in self.io.recv_batch():
+            return view
+        return None

@@ -1,0 +1,20 @@
+"""REP115 good fixture: every stored datagram is copied out first."""
+
+
+def decode(view):
+    return bytes(view)
+
+
+class Collector:
+    def __init__(self, io) -> None:
+        self.io = io
+        self.frames = []
+
+    def drain(self) -> None:
+        for view, sender in self.io.recv_batch():
+            self.frames.append((decode(view), sender))
+
+    def snapshot(self) -> bytes:
+        for view, _sender in self.io.recv_batch():
+            return bytes(view)
+        return b""

@@ -1,0 +1,7 @@
+"""Global-RNG helper in the REP101-exempt tree (reached from workloads/)."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random() - 0.5

@@ -1,0 +1,9 @@
+"""Golden-report fixture: a transitive REP112 finding with a chain."""
+
+from util.wrappers import settle
+
+
+class Pump:
+    def poll(self, now: float) -> float:
+        settle()
+        return now

@@ -1,0 +1,7 @@
+"""Blocking helper reached from the golden tree's service loop."""
+
+import time
+
+
+def settle() -> None:
+    time.sleep(0.01)

@@ -1,0 +1,7 @@
+"""Golden-report fixture: a transitive REP113 finding with a chain."""
+
+from benchmarks.noise import jitter
+
+
+def noisy(base: int) -> int:
+    return base + int(jitter())

@@ -1,0 +1,249 @@
+"""Unit tests for the cross-module call graph (lint/callgraph.py).
+
+Each test builds a small tree of sources on disk, parses it into the
+engine's real :class:`FileContext` objects, and queries the graph the
+way the whole-program rules do — so resolution claims in the module
+docstring (aliased imports, cross-module MRO, nested defs, relative
+imports, re-exports) are each pinned here.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint.callgraph import build_call_graph, module_name
+from repro.lint.engine import FileContext, iter_python_files
+
+
+@pytest.fixture
+def graph_of(tmp_path):
+    """Write ``{relative_path: source}``, parse, and build the graph."""
+
+    def _build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        ctxs = []
+        for root, path in iter_python_files([tmp_path]):
+            text = path.read_text()
+            ctxs.append(
+                FileContext(path, Path(root), text, ast.parse(text))
+            )
+        return build_call_graph(ctxs)
+
+    return _build
+
+
+def project_targets(graph, qname):
+    return [
+        site.target
+        for site in graph.functions[qname].calls
+        if site.kind == "project"
+    ]
+
+
+def test_module_name_mapping():
+    assert module_name("service/engine.py") == "service.engine"
+    assert module_name("cli.py") == "cli"
+    assert module_name("udpnet/__init__.py") == "udpnet"
+
+
+def test_direct_import_and_alias_resolution(graph_of):
+    graph = graph_of({
+        "util/helpers.py": "def settle():\n    pass\n",
+        "app/one.py": (
+            "from util.helpers import settle\n\n"
+            "def go():\n    settle()\n"
+        ),
+        "app/two.py": (
+            "from util.helpers import settle as calm\n\n"
+            "def go():\n    calm()\n"
+        ),
+        "app/three.py": (
+            "import util.helpers as uh\n\n"
+            "def go():\n    uh.settle()\n"
+        ),
+    })
+    for unit in ("app/one.py", "app/two.py", "app/three.py"):
+        assert project_targets(graph, f"{unit}::go") == [
+            "util/helpers.py::settle"
+        ], unit
+
+
+def test_relative_import_resolution(graph_of):
+    graph = graph_of({
+        "pkg/__init__.py": "",
+        "pkg/base.py": "def ground():\n    pass\n",
+        "pkg/sub/__init__.py": "",
+        "pkg/sub/mod.py": (
+            "from ..base import ground\nfrom . import sib\n\n"
+            "def go():\n    ground()\n    sib.leaf()\n"
+        ),
+        "pkg/sub/sib.py": "def leaf():\n    pass\n",
+    })
+    assert project_targets(graph, "pkg/sub/mod.py::go") == [
+        "pkg/base.py::ground",
+        "pkg/sub/sib.py::leaf",
+    ]
+
+
+def test_reexport_chain_resolution(graph_of):
+    graph = graph_of({
+        "core/impl.py": "def work():\n    pass\n",
+        "core/__init__.py": "from core.impl import work\n",
+        "app/main.py": (
+            "from core import work\n\n"
+            "def go():\n    work()\n"
+        ),
+    })
+    assert project_targets(graph, "app/main.py::go") == [
+        "core/impl.py::work"
+    ]
+
+
+def test_cross_module_inheritance_resolves_self_calls(graph_of):
+    graph = graph_of({
+        "base/endpoint.py": (
+            "class Endpoint:\n"
+            "    def recv_frame(self):\n"
+            "        pass\n"
+        ),
+        "proto/saw.py": (
+            "from base.endpoint import Endpoint\n\n"
+            "class Saw(Endpoint):\n"
+            "    def pull(self):\n"
+            "        self.recv_frame()\n"
+        ),
+    })
+    assert project_targets(graph, "proto/saw.py::Saw.pull") == [
+        "base/endpoint.py::Endpoint.recv_frame"
+    ]
+    chain = graph.mro("proto/saw.py::Saw")
+    assert [cls.name for cls in chain] == ["Saw", "Endpoint"]
+    resolved = graph.resolve_method("proto/saw.py::Saw", "recv_frame")
+    assert resolved.qname == "base/endpoint.py::Endpoint.recv_frame"
+
+
+def test_override_shadows_base_method(graph_of):
+    graph = graph_of({
+        "mod.py": (
+            "class Base:\n"
+            "    def step(self):\n        pass\n"
+            "class Child(Base):\n"
+            "    def step(self):\n        pass\n"
+            "    def go(self):\n        self.step()\n"
+        ),
+    })
+    assert project_targets(graph, "mod.py::Child.go") == [
+        "mod.py::Child.step"
+    ]
+
+
+def test_construction_edges_into_init(graph_of):
+    graph = graph_of({
+        "machines.py": (
+            "class Machine:\n"
+            "    def __init__(self, seed):\n        self.seed = seed\n"
+        ),
+        "factory.py": (
+            "from machines import Machine\n\n"
+            "def make(seed):\n    return Machine(seed)\n"
+        ),
+    })
+    calls = graph.functions["factory.py::make"].calls
+    assert [(s.kind, s.target) for s in calls] == [
+        ("construct", "machines.py::Machine"),
+        ("project", "machines.py::Machine.__init__"),
+    ]
+
+
+def test_nested_defs_are_registered_and_linked(graph_of):
+    graph = graph_of({
+        "loop.py": (
+            "def outer():\n"
+            "    def inner():\n"
+            "        deepest()\n"
+            "    inner()\n\n"
+            "def deepest():\n"
+            "    pass\n"
+        ),
+    })
+    assert "loop.py::outer.<locals>.inner" in graph.functions
+    assert project_targets(graph, "loop.py::outer") == [
+        "loop.py::outer.<locals>.inner"
+    ]
+    assert project_targets(graph, "loop.py::outer.<locals>.inner") == [
+        "loop.py::deepest"
+    ]
+
+
+def test_external_and_attr_call_sites(graph_of):
+    graph = graph_of({
+        "helpers.py": (
+            "import time\n\n"
+            "def nap():\n    time.sleep(0.1)\n\n"
+            "def drain(sock):\n    return sock.recv(4096)\n"
+        ),
+    })
+    (site,) = graph.functions["helpers.py::nap"].calls
+    assert (site.kind, site.target) == ("external", "time.sleep")
+    (site,) = graph.functions["helpers.py::drain"].calls
+    assert (site.kind, site.target) == ("attr", "recv")
+    assert site.label() == ".recv()"
+
+
+def test_find_chains_returns_shortest_witness(graph_of):
+    graph = graph_of({
+        "service/loop.py": (
+            "from util.helpers import settle\n\n"
+            "def poll():\n    settle()\n"
+        ),
+        "util/helpers.py": (
+            "import time\n\n"
+            "def nap():\n    time.sleep(0.01)\n\n"
+            "def settle():\n    nap()\n"
+        ),
+    })
+    chains = graph.find_chains(
+        "service/loop.py::poll",
+        lambda site, owner: site.kind == "external"
+        and site.target == "time.sleep",
+    )
+    assert [chain for chain, _site in chains] == [
+        (
+            "service/loop.py::poll",
+            "util/helpers.py::settle",
+            "util/helpers.py::nap",
+            "time.sleep",
+        )
+    ]
+
+
+def test_recursion_and_inheritance_cycles_terminate(graph_of):
+    graph = graph_of({
+        "loop.py": (
+            "class A(B):\n    pass\n"
+            "class B(A):\n    def ping(self):\n        self.ping()\n"
+        ),
+    })
+    assert [cls.name for cls in graph.mro("loop.py::A")] == ["A", "B"]
+    reachable = graph.reachable(["loop.py::B.ping"])
+    assert set(reachable) == {"loop.py::B.ping"}
+    chains = graph.find_chains("loop.py::B.ping", lambda s, o: False)
+    assert chains == []
+
+
+def test_reachable_covers_transitive_closure(graph_of):
+    graph = graph_of({
+        "mod.py": (
+            "def a():\n    b()\n\n"
+            "def b():\n    c()\n\n"
+            "def c():\n    pass\n\n"
+            "def island():\n    pass\n"
+        ),
+    })
+    reachable = graph.reachable(["mod.py::a"])
+    assert set(reachable) == {"mod.py::a", "mod.py::b", "mod.py::c"}
+    assert reachable["mod.py::c"] == "mod.py::b"

@@ -104,3 +104,97 @@ class TestInProcess:
         payload = json.loads(capsys.readouterr().out)
         assert code == 1
         assert payload["counts"]["REP106"] == 2  # the two lines, once each
+
+
+BAD_RNG = "import random\n\n\ndef draw():\n    return random.random()\n"
+BAD_CLOCK = "import time\n\n\ndef now():\n    return time.time()\n"
+
+
+class TestSubsetSelection:
+    def test_paths_pattern_limits_files(self, tmp_path, capsys):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "analysis").mkdir()
+        (tmp_path / "sim" / "clock.py").write_text(BAD_CLOCK)
+        (tmp_path / "analysis" / "rng.py").write_text(BAD_RNG)
+        code = lint_main(
+            ["--format", "json", "--paths", "sim/*", str(tmp_path)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["counts"]["REP102"] == 1
+        assert payload["counts"]["REP101"] == 0  # analysis/ filtered out
+        assert payload["project_rules_skipped"] is True
+
+    def test_subset_note_names_skipped_project_rules(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = lint_main(["--paths", "*.py", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in ("REP108", "REP112", "REP113", "REP114"):
+            assert rule_id in out
+
+    def test_full_run_does_not_print_subset_note(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = lint_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REP108" not in out
+
+    def test_changed_outside_git_repo_exits_two(self, tmp_path):
+        proc = _run_module("--changed", "HEAD", str(tmp_path), cwd=tmp_path)
+        assert proc.returncode == 2
+
+    def test_changed_lints_only_touched_python_files(self, tmp_path):
+        git_env = dict(
+            os.environ,
+            GIT_AUTHOR_NAME="t",
+            GIT_AUTHOR_EMAIL="t@t",
+            GIT_COMMITTER_NAME="t",
+            GIT_COMMITTER_EMAIL="t@t",
+        )
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args],
+                cwd=tmp_path,
+                env=git_env,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "clock.py").write_text("x = 1\n")
+        (tmp_path / "legacy.py").write_text(BAD_RNG)
+        (tmp_path / "notes.txt").write_text("not python\n")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        # Touch one tracked file and add one untracked file; the legacy
+        # REP101 violation must NOT appear in a --changed run.
+        (tmp_path / "sim" / "clock.py").write_text(BAD_CLOCK)
+        (tmp_path / "fresh.py").write_text("y = 2\n")
+
+        proc = _run_module("--changed", "HEAD", "--format", "json",
+                           str(tmp_path), cwd=tmp_path)
+        payload = json.loads(proc.stdout)
+        assert proc.returncode == 1
+        assert payload["counts"]["REP102"] == 1
+        assert payload["counts"]["REP101"] == 0
+        assert payload["files_checked"] == 2  # sim/clock.py + fresh.py
+        assert payload["project_rules_skipped"] is True
+
+
+class TestFsmMatrixFlag:
+    def test_matrix_written_alongside_lint(self, tmp_path, capsys):
+        out_path = tmp_path / "results" / "matrix.txt"
+        code = lint_main(
+            [
+                "--fsm-matrix", str(out_path),
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FSM matrix written" in out
+        assert out_path.read_text().endswith("uncovered=0\n")

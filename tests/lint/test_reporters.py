@@ -3,7 +3,10 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.lint import (
+    load_report,
     render_baseline,
     render_json,
     render_text,
@@ -24,7 +27,7 @@ def test_text_report_has_file_line_rule_shape(monkeypatch):
     text = render_text(result)
     assert "analysis/formulas.py:5:11: REP106" in text
     assert "hint:" in text
-    assert "1 violation(s)" in text
+    assert "3 violation(s)" in text
 
 
 def test_json_report_matches_golden_file(monkeypatch):
@@ -45,20 +48,59 @@ def test_json_schema_keys_are_stable(monkeypatch):
         "schema_version",
         "files_checked",
         "suppressed",
+        "project_rules_skipped",
         "counts",
         "violations",
     }
     assert payload["schema"] == "replint-report"
-    (violation,) = payload["violations"]
-    assert set(violation) == {
-        "path",
-        "line",
-        "col",
-        "rule",
-        "severity",
-        "message",
-        "fix_hint",
-    }
+    assert payload["schema_version"] == 2
+    for violation in payload["violations"]:
+        assert set(violation) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+            "fix_hint",
+            "family",
+            "chain",
+        }
+
+
+def test_transitive_findings_carry_full_chain_witness(monkeypatch):
+    result = _golden_result(monkeypatch)
+    payload = json.loads(render_json(result))
+    chains = {v["rule"]: v["chain"] for v in payload["violations"]}
+    assert chains["REP112"] == [
+        "service/pump.py::Pump.poll",
+        "util/wrappers.py::settle",
+        "time.sleep",
+    ]
+    assert chains["REP113"] == [
+        "workloads/sizes.py::noisy",
+        "benchmarks/noise.py::jitter",
+        "random.random",
+    ]
+    assert chains["REP106"] == []  # direct findings have no chain
+
+
+def test_load_report_accepts_current_golden():
+    payload = load_report((GOLDEN / "report.json").read_text())
+    assert payload["schema_version"] == 2
+    assert payload["counts"]["REP112"] == 1
+
+
+def test_load_report_rejects_v1_golden_loudly():
+    v1_text = (GOLDEN / "report_v1.json").read_text()
+    assert json.loads(v1_text)["schema_version"] == 1  # fixture sanity
+    with pytest.raises(ValueError, match="schema_version=1"):
+        load_report(v1_text)
+
+
+def test_load_report_rejects_non_reports():
+    with pytest.raises(ValueError, match="schema marker"):
+        load_report('{"schema": "something-else", "schema_version": 2}')
 
 
 def test_json_reports_suppressed_count(monkeypatch):
@@ -70,8 +112,10 @@ def test_baseline_lists_every_rule_and_total(monkeypatch):
     result = _golden_result(monkeypatch)
     baseline = render_baseline(result)
     lines = [l for l in baseline.splitlines() if l and not l.startswith("#")]
-    assert lines[-1] == "total 1"
+    assert lines[-1] == "total 3"
     assert "REP106 1" in lines
+    assert "REP112 1" in lines
+    assert "REP113 1" in lines
     assert "REP101 0" in lines
 
 

@@ -1,8 +1,11 @@
 """Suppression edge cases: line vs file scope, unknown ids, select/ignore."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.lint import UsageError, run_lint
+from repro.lint import UsageError, all_rules, run_lint
+from repro.lint.engine import Suppressions, Violation
 
 from .conftest import rule_ids
 
@@ -119,6 +122,81 @@ class TestUnknownIds:
     def test_unknown_ignore_raises_usage_error(self, lint_tree):
         with pytest.raises(UsageError, match="unknown rule id"):
             lint_tree({"mod.py": "x = 1\n"}, ignore=["BOGUS"])
+
+
+ALL_RULE_IDS = sorted(rule.id for rule in all_rules())
+
+
+def _violation(rule_id, line):
+    return Violation(
+        path="mod.py",
+        line=line,
+        col=0,
+        rule=rule_id,
+        severity="warning",
+        message="synthetic",
+        fix_hint="",
+    )
+
+
+class TestSuppressionProperties:
+    """Hypothesis: the hides() contract holds for every registered rule."""
+
+    @given(
+        rule_id=st.sampled_from(ALL_RULE_IDS),
+        line=st.integers(min_value=1, max_value=500),
+        file_level=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matching_directive_hides_any_registered_rule(
+        self, rule_id, line, file_level
+    ):
+        if file_level:
+            sup = Suppressions(file_level={rule_id})
+        else:
+            sup = Suppressions(by_line={line: {rule_id}})
+        assert sup.hides(_violation(rule_id, line))
+
+    @given(
+        rule_id=st.sampled_from(ALL_RULE_IDS),
+        other=st.sampled_from(ALL_RULE_IDS),
+        line=st.integers(min_value=1, max_value=500),
+        offset=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_directive_scope_is_exact(self, rule_id, other, line, offset):
+        sup = Suppressions(by_line={line: {rule_id}})
+        # A different line never matches; a different rule never matches.
+        assert not sup.hides(_violation(rule_id, line + offset))
+        if other != rule_id:
+            assert not sup.hides(_violation(other, line))
+
+    @given(
+        line=st.integers(min_value=1, max_value=500),
+        ids=st.sets(st.sampled_from(ALL_RULE_IDS + ["ALL"]), min_size=0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_meta_rule_is_never_silenceable(self, line, ids):
+        sup = Suppressions(file_level=set(ids), by_line={line: set(ids)})
+        assert not sup.hides(_violation("REP100", line))
+
+    @given(
+        rule_id=st.sampled_from(ALL_RULE_IDS),
+        line=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_wildcard_hides_every_non_meta_rule(self, rule_id, line):
+        sup = Suppressions(file_level={"ALL"})
+        assert sup.hides(_violation(rule_id, line)) == (rule_id != "REP100")
+
+    @pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+    def test_disable_file_parses_for_every_rule(self, rule_id, lint_tree):
+        # End-to-end: the directive parser accepts every registered id
+        # without tripping REP100's unknown-id diagnostic.
+        result = lint_tree(
+            {"mod.py": f"# replint: disable-file={rule_id}\nx = 1\n"}
+        )
+        assert result.clean
 
 
 class TestSyntaxErrors:
