@@ -1,16 +1,24 @@
 """The full conformance matrix, checked against the committed ledger.
 
 Runs every (protocol, strategy) × builtin-plan cell on both substrates —
-108 cells — and regenerates ``results/conformance_matrix.txt``.  The
-rendered report must be byte-identical to the committed golden ledger:
-DES rows carry deterministic frame/round counts, UDP rows carry only
-verdicts, so any drift in protocol behaviour, plan interpretation, or
-report format shows up as a diff here.
+108 cells — plus the multi-flow fairness section (2/4/8 concurrent
+flows under the Reno sliding service), and regenerates
+``results/conformance_matrix.txt``.  The rendered report must be
+byte-identical to the committed golden ledger: DES rows carry
+deterministic frame/round counts and Jain indices, UDP rows carry only
+verdicts, so any drift in protocol behaviour, plan interpretation,
+congestion control, or report format shows up as a diff here.
 """
 
 from pathlib import Path
 
-from repro.faults.conformance import run_matrix
+from repro.faults.conformance import (
+    FAIRNESS_FLOWS,
+    FAIRNESS_JAIN_MIN,
+    FAIRNESS_PLANS,
+    run_fairness_matrix,
+    run_matrix,
+)
 
 GOLDEN = Path(__file__).parent / "results" / "conformance_matrix.txt"
 
@@ -20,11 +28,16 @@ def test_full_matrix_matches_golden_ledger(results_dir):
     assert len(result.cells) == 108
     assert result.all_passed, result.failures
 
-    (results_dir / "conformance_matrix.txt").write_text(result.report)
-    assert result.report == GOLDEN.read_text(), (
+    fairness = run_fairness_matrix(n_jobs=4)
+    assert len(fairness.cells) == 2 * len(FAIRNESS_FLOWS) * len(FAIRNESS_PLANS)
+    assert fairness.all_passed, fairness.failures
+
+    report = result.report + "\n" + fairness.report
+    (results_dir / "conformance_matrix.txt").write_text(report)
+    assert report == GOLDEN.read_text(), (
         "conformance report drifted from the committed golden ledger; "
         "regenerate with: PYTHONPATH=src python -m repro --jobs 4 faults "
-        "--out benchmarks/results/conformance_matrix.txt"
+        "--fairness --out benchmarks/results/conformance_matrix.txt"
     )
 
 
@@ -33,3 +46,19 @@ def test_matrix_is_deterministic_across_job_counts():
     sharded = run_matrix(substrates=("des",), n_jobs=3)
     assert serial.report == sharded.report
     assert serial.cells == sharded.cells
+
+
+def test_fairness_is_deterministic_across_job_counts():
+    serial = run_fairness_matrix(substrates=("des",), n_jobs=1)
+    sharded = run_fairness_matrix(substrates=("des",), n_jobs=3)
+    assert serial.report == sharded.report
+    assert serial.cells == sharded.cells
+
+
+def test_fairness_jain_floor_holds_per_cell():
+    """Every flow must get its share: the index floor applies cell by
+    cell, not just on average."""
+    fairness = run_fairness_matrix(substrates=("des",), n_jobs=4)
+    for cell in fairness.cells:
+        assert cell.jain >= FAIRNESS_JAIN_MIN, cell
+        assert cell.failed_flows == 0, cell

@@ -1,0 +1,74 @@
+"""Regression tests for the congestion loss-sweep ledger.
+
+The committed golden at ``benchmarks/results/congestion_sweep.txt``
+pins service goodput vs loss rate for the four transfer disciplines
+(fixed-blast, fixed-sliding, reno-sliding, auto).  Everything runs on
+the DES substrate over seeded randomness, so the rendered report must
+be byte-identical across runs and ``--jobs`` values.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro --jobs 4 congestion \
+        --out benchmarks/results/congestion_sweep.txt
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.congestion.sweep import (
+    LOSS_RATES,
+    SWEEP_MODES,
+    run_congestion_sweep,
+)
+
+GOLDEN = Path(__file__).parent / "results" / "congestion_sweep.txt"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_congestion_sweep(n_jobs=2)
+
+
+def test_ledger_matches_golden(sweep):
+    assert GOLDEN.exists(), (
+        "golden ledger missing; regenerate with "
+        "`python -m repro congestion --out benchmarks/results/congestion_sweep.txt`"
+    )
+    assert sweep.report == GOLDEN.read_text()
+
+
+def test_all_cells_complete(sweep):
+    assert sweep.all_ok
+    assert len(sweep.cells) == len(LOSS_RATES) * len(SWEEP_MODES)
+
+
+def test_byte_identical_across_jobs(sweep):
+    serial = run_congestion_sweep(n_jobs=1)
+    assert serial.report == sweep.report
+
+
+def test_auto_within_10pct_of_best_fixed(sweep):
+    """The tuner must never lose badly to a statically-chosen discipline."""
+    for loss in LOSS_RATES:
+        best_fixed = max(
+            sweep.goodput("fixed-blast", loss),
+            sweep.goodput("fixed-sliding", loss),
+        )
+        auto = sweep.goodput("auto", loss)
+        assert auto >= 0.9 * best_fixed, (
+            f"auto goodput {auto:.0f} B/s loses to best fixed "
+            f"{best_fixed:.0f} B/s by >10% at loss={loss}"
+        )
+
+
+def test_reno_beats_fixed_sliding_in_lossy_band(sweep):
+    """Congestion control must pay for itself where it matters: at
+    moderate loss the Reno window + adaptive RTO should beat the same
+    protocol with a constant timer."""
+    for loss in (0.01, 0.02, 0.05):
+        assert sweep.goodput("reno-sliding", loss) > sweep.goodput(
+            "fixed-sliding", loss
+        )

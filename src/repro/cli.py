@@ -14,6 +14,7 @@ faults    fault-injection conformance matrix across DES and UDP
 serve     concurrent transfer service on one UDP endpoint
 loadgen   drive N concurrent clients (DES or loopback UDP)
 perf      microbenchmark suites + fastpath-vs-seed speedup report
+congestion  goodput-vs-loss sweep for the congestion controllers
 
 Examples
 --------
@@ -33,7 +34,11 @@ Examples
     python -m repro --jobs 4 faults
     python -m repro faults --substrate des --plans drop-replies,dup-burst
     python -m repro faults --list-plans
+    python -m repro --jobs 4 faults --fairness
     python -m repro serve --once 16 --policy rr --report json
+    python -m repro serve --once 16 --congestion reno
+    python -m repro loadgen --clients 8 --policy auto --report table
+    python -m repro --jobs 4 congestion --check benchmarks/results/congestion_sweep.txt
     python -m repro loadgen --clients 16 --arrivals poisson --report table
     python -m repro loadgen --mode udp --clients 3 --server 127.0.0.1:47000
     python -m repro perf --out BENCH_fastpath.json
@@ -211,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=7)
     faults.add_argument("--size", type=_parse_size, default=8 * 1024 + 137)
     faults.add_argument(
+        "--fairness", action="store_true",
+        help="append the multi-flow fairness section (Jain's index over "
+             "per-flow goodput under the Reno sliding service)",
+    )
+    faults.add_argument(
         "--out", metavar="PATH",
         help="also write the matrix report to PATH",
     )
@@ -224,7 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", choices=["blast", "sliding", "saw"], default="blast"
     )
     serve.add_argument(
-        "--policy", choices=["fifo", "rr", "copy-budget"], default="fifo"
+        "--policy", choices=["fifo", "rr", "copy-budget", "auto"],
+        default="fifo",
+        help="scheduler policy; 'auto' keeps fifo scheduling and turns "
+             "on the per-transfer protocol auto-tuner",
+    )
+    serve.add_argument(
+        "--congestion", choices=["fixed", "reno", "auto"], default=None,
+        help="congestion controller (default: fixed; 'auto' adds the "
+             "per-transfer tuner)",
     )
     serve.add_argument("--max-active", type=int, default=8)
     serve.add_argument("--max-queue", type=int, default=64)
@@ -277,7 +295,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", choices=["blast", "sliding", "saw"], default="blast"
     )
     loadgen.add_argument(
-        "--policy", choices=["fifo", "rr", "copy-budget"], default="fifo"
+        "--policy", choices=["fifo", "rr", "copy-budget", "auto"],
+        default="fifo",
+        help="scheduler policy; 'auto' keeps fifo scheduling and turns "
+             "on the per-transfer protocol auto-tuner",
+    )
+    loadgen.add_argument(
+        "--congestion", choices=["fixed", "reno", "auto"], default=None,
+        help="congestion controller (default: fixed; 'auto' adds the "
+             "per-transfer tuner)",
     )
     loadgen.add_argument("--workload-seed", type=int, default=0)
     loadgen.add_argument(
@@ -314,6 +340,20 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--list-suites", action="store_true",
         help="list suite names and exit",
+    )
+
+    congestion = sub.add_parser(
+        "congestion",
+        help="goodput-vs-loss sweep for the congestion controllers",
+    )
+    congestion.add_argument("--seed", type=int, default=7)
+    congestion.add_argument(
+        "--out", metavar="PATH",
+        help="also write the sweep ledger to PATH",
+    )
+    congestion.add_argument(
+        "--check", metavar="PATH",
+        help="diff this run's ledger against a committed golden",
     )
 
     moveto = sub.add_parser("moveto", help="V-kernel MoveTo demo")
@@ -508,34 +548,64 @@ def _cmd_faults(args) -> int:
         size_bytes=args.size,
         n_jobs=args.jobs,
     )
-    print(matrix.report, end="")
+    report = matrix.report
+    passed = matrix.all_passed
+    if args.fairness:
+        from .faults.conformance import run_fairness_matrix
+
+        fairness = run_fairness_matrix(
+            substrates=substrates, seed=args.seed, n_jobs=args.jobs
+        )
+        report = report + "\n" + fairness.report
+        passed = passed and fairness.all_passed
+    print(report, end="")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(matrix.report)
+            handle.write(report)
         print(f"wrote {args.out}")
-    return 0 if matrix.all_passed else 1
+    return 0 if passed else 1
+
+
+def _service_config(args):
+    """Build a ServiceConfig from serve/loadgen flags.
+
+    ``--policy auto`` is sugar for the per-transfer tuner: the scheduler
+    falls back to fifo and the congestion controller becomes ``auto``
+    (an explicit ``--congestion`` still wins).
+    """
+    from .service import ServiceConfig
+
+    policy = args.policy
+    congestion = args.congestion
+    if policy == "auto":
+        policy = "fifo"
+        if congestion is None:
+            congestion = "auto"
+    kwargs = dict(protocol=args.protocol, policy=policy,
+                  congestion=congestion or "fixed")
+    if hasattr(args, "max_active"):
+        kwargs.update(max_active=args.max_active, max_queue=args.max_queue,
+                      window=args.window, seed=args.seed)
+    return ServiceConfig(**kwargs)
 
 
 def _cmd_serve(args) -> int:
-    from .service import ServiceConfig, UdpTransferService
+    from .service import UdpTransferService
 
     fault_plan = None
     if args.fault_plan:
         from .faults.plans import builtin_plan
 
         fault_plan = builtin_plan(args.fault_plan)
-    config = ServiceConfig(
-        protocol=args.protocol, policy=args.policy,
-        max_active=args.max_active, max_queue=args.max_queue,
-        window=args.window, seed=args.seed,
-    )
+    config = _service_config(args)
     service = UdpTransferService(
         config, bind=(args.host, args.port),
         fault_plan=fault_plan, fault_seed=args.fault_seed,
     )
     host, port = service.address
     print(f"serving on {host}:{port} "
-          f"({config.protocol}, policy={config.policy})", flush=True)
+          f"({config.protocol}, policy={config.policy}, "
+          f"congestion={config.congestion})", flush=True)
     try:
         completed = service.serve(expected_streams=args.once,
                                   duration_s=args.duration)
@@ -551,9 +621,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_loadgen(args) -> int:
-    from .service import ServiceConfig
-
-    config = ServiceConfig(protocol=args.protocol, policy=args.policy)
+    config = _service_config(args)
     if args.mode == "des":
         from .service import run_des_loadgen
 
@@ -616,6 +684,25 @@ def _cmd_perf(args) -> int:
     )
 
 
+def _cmd_congestion(args) -> int:
+    from .congestion.sweep import run_congestion_sweep
+
+    sweep = run_congestion_sweep(seed=args.seed, n_jobs=args.jobs)
+    print(sweep.report, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(sweep.report)
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        if sweep.report != golden:
+            print(f"MISMATCH against {args.check}")
+            return 1
+        print(f"matches {args.check}")
+    return 0 if sweep.all_ok else 1
+
+
 def _cmd_moveto(args) -> int:
     from .sim import Environment
     from .simnet import BernoulliErrors, NetworkParams, make_lan
@@ -665,6 +752,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "perf": _cmd_perf,
+        "congestion": _cmd_congestion,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,32 @@
+"""Fairness quantities for multi-flow cells.
+
+Jain's index over per-flow goodput is the scalar the conformance
+harness pins: 1.0 when every flow gets the same share, 1/n when one
+flow starves the rest (Ghaderi & Towsley use the same quantity for
+goodput-vs-flow-count curves).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["jain_index"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Defined on non-negative allocations; an empty sequence or an
+    all-zero one (nobody got anything — perfectly, if uselessly, fair)
+    returns 1.0.
+    """
+    xs = [float(v) for v in values]
+    if any(x < 0 for x in xs):
+        raise ValueError("jain_index is defined on non-negative values")
+    if not xs:
+        return 1.0
+    square_sum = sum(x * x for x in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)

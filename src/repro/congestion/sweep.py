@@ -1,0 +1,204 @@
+"""Goodput-vs-loss-rate regression sweep for the congestion layer.
+
+Each cell drives deterministic DES loadgen runs — staggered clients
+pulling fixed-size bodies through a shared lossy medium
+(:class:`~repro.simnet.errors.BernoulliErrors`, seeded per repetition
+via nested ``mix_seed``) — under one of four transfer disciplines:
+
+- ``fixed-blast`` — the paper's blast protocol, constant T_r;
+- ``fixed-sliding`` — the sliding window, constant T_r, window never
+  congestion-limited;
+- ``reno-sliding`` — the sliding window under
+  :class:`~repro.congestion.reno.RenoController`;
+- ``auto`` — the :class:`~repro.congestion.tuner.AutoTuner` picking
+  {protocol, window, controller} per transfer from size and the
+  observed loss rate (arrivals are staggered so later pulls see the
+  estimate the earlier transfers taught).
+
+Each lossy cell aggregates ``SWEEP_REPS`` medium/workload seeds — a
+single seed makes the discipline comparison luck-of-the-draw — and the
+scored quantity is *service goodput*: ok bytes over summed per-transfer
+completion time.  (Run makespan would be dominated by the control
+plane: a lost pull costs a 0.25 s client retry that says nothing about
+the transfer discipline under test.)
+
+Everything is simulated time over seeded randomness, so the rendered
+ledger (``benchmarks/results/congestion_sweep.txt``) is byte-identical
+across runs and ``--jobs`` values; ``benchmarks/test_congestion_sweep.py``
+diffs it and asserts that ``auto`` never loses to the best fixed
+discipline by more than 10% goodput at any swept loss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..parallel.pool import ExperimentPool, mix_seed
+
+__all__ = [
+    "LOSS_RATES",
+    "SWEEP_MODES",
+    "SweepCell",
+    "SweepResult",
+    "run_congestion_sweep",
+    "render_sweep_report",
+]
+
+#: Bernoulli per-frame loss probabilities swept (0–10%).
+LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10)
+
+#: mode name -> (protocol, window, congestion).  ``auto`` starts from
+#: the sliding config; the tuner overrides per transfer.
+SWEEP_MODES: Tuple[Tuple[str, str, int, str], ...] = (
+    ("fixed-blast", "blast", 4, "fixed"),
+    ("fixed-sliding", "sliding", 8, "fixed"),
+    ("reno-sliding", "sliding", 8, "reno"),
+    ("auto", "sliding", 8, "auto"),
+)
+
+#: Cell workload: staggered clients so the auto tuner's loss estimate
+#: has history to learn from by mid-run.
+SWEEP_CLIENTS = 12
+SWEEP_SIZE_BYTES = 16 * 1024
+SWEEP_SPAN_S = 0.5
+SWEEP_TIMEOUT_S = 0.05
+SWEEP_MAX_ROUNDS = 200
+#: Medium/workload seeds aggregated per lossy cell (the clean cell is
+#: deterministic modulo the workload seed, one rep suffices).
+SWEEP_REPS = 5
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (loss rate, mode) cell — a picklable spec for the pool."""
+
+    loss: float
+    mode: str
+    protocol: str
+    window: int
+    congestion: str
+    seed: int
+
+
+def _run_sweep_cell(cell: SweepCell) -> dict:
+    """Module-level worker (ExperimentPool boundary: must be picklable)."""
+    from ..service.engine import ServiceConfig
+    from ..service.loadgen import run_des_loadgen
+    from ..simnet.errors import BernoulliErrors
+
+    reps = SWEEP_REPS if cell.loss > 0 else 1
+    ok = failed = retransmits = 0
+    ok_bytes = 0
+    completion_s = 0.0
+    payloads_ok = True
+    for rep in range(reps):
+        config = ServiceConfig(
+            protocol=cell.protocol,
+            window=cell.window,
+            congestion=cell.congestion,
+            timeout_s=SWEEP_TIMEOUT_S,
+            max_rounds=SWEEP_MAX_ROUNDS,
+        )
+        error_model = (
+            BernoulliErrors(cell.loss, seed=mix_seed(cell.seed, rep))
+            if cell.loss > 0 else None
+        )
+        result = run_des_loadgen(
+            SWEEP_CLIENTS,
+            config=config,
+            size_bytes=SWEEP_SIZE_BYTES,
+            arrivals="uniform",
+            span_s=SWEEP_SPAN_S,
+            workload_seed=rep,
+            error_model=error_model,
+        )
+        summary = result.report["summary"]
+        ok += summary["ok"]
+        failed += summary["failed"]
+        retransmits += summary["retransmits"]
+        for row in result.report["transfers"]:
+            if row["ok"] and row["completion_s"] is not None:
+                ok_bytes += row["bytes"]
+                completion_s += row["completion_s"]
+        payloads_ok = payloads_ok and result.payloads_ok
+    goodput = ok_bytes / completion_s if completion_s > 0 else 0.0
+    return {
+        "loss": cell.loss,
+        "mode": cell.mode,
+        "reps": reps,
+        "ok": ok,
+        "failed": failed,
+        "retransmits": retransmits,
+        "completion_s": round(completion_s, 9),
+        "goodput": round(goodput, 9),
+        "payloads_ok": payloads_ok,
+    }
+
+
+@dataclass
+class SweepResult:
+    """All cells plus the rendered ledger."""
+
+    cells: List[dict]
+    report: str
+
+    @property
+    def all_ok(self) -> bool:
+        return all(
+            cell["failed"] == 0 and cell["payloads_ok"] for cell in self.cells
+        )
+
+    def goodput(self, mode: str, loss: float) -> float:
+        for cell in self.cells:
+            if cell["mode"] == mode and cell["loss"] == loss:
+                return cell["goodput"]
+        raise KeyError(f"no cell for mode={mode!r} loss={loss!r}")
+
+
+def render_sweep_report(cells: Sequence[dict], seed: int) -> str:
+    """Fixed-order plain-text ledger, byte-stable across equal-seed runs."""
+    lines = [
+        "# congestion sweep: service goodput vs Bernoulli loss rate (DES)",
+        f"# seed={seed} clients={SWEEP_CLIENTS}"
+        f" size_bytes={SWEEP_SIZE_BYTES} span_s={SWEEP_SPAN_S}"
+        f" timeout_s={SWEEP_TIMEOUT_S} reps={SWEEP_REPS}",
+        "# goodput = ok bytes / sum of per-transfer completion time",
+        "# columns: loss mode reps ok failed retx completion_s goodput_Bps",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell['loss']:.2f} {cell['mode']:<13s} {cell['reps']}"
+            f" {cell['ok']:>3d} {cell['failed']:>2d}"
+            f" {cell['retransmits']:>4d} {cell['completion_s']:.9f}"
+            f" {cell['goodput']:.9f}"
+        )
+    failures = sum(1 for cell in cells
+                   if cell["failed"] or not cell["payloads_ok"])
+    lines.append(f"# cells={len(cells)} failures={failures}")
+    return "\n".join(lines) + "\n"
+
+
+def run_congestion_sweep(
+    loss_rates: Sequence[float] = LOSS_RATES,
+    seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = 1,
+) -> SweepResult:
+    """Run the loss × mode grid; byte-stable across ``n_jobs``."""
+    specs = [
+        SweepCell(
+            loss=loss,
+            mode=mode,
+            protocol=protocol,
+            window=window,
+            congestion=congestion,
+            # Same medium seed family for every mode at a given loss
+            # rate, so the discipline comparison is like for like.
+            seed=mix_seed(seed, int(round(loss * 10000))),
+        )
+        for loss in loss_rates
+        for mode, protocol, window, congestion in SWEEP_MODES
+    ]
+    cells = ExperimentPool(n_jobs).map_shards(_run_sweep_cell, specs)
+    return SweepResult(cells=cells, report=render_sweep_report(cells, seed))

@@ -35,12 +35,18 @@ from .plans import BUILTIN_PLANS, builtin_plan_names
 
 __all__ = [
     "COMBOS",
+    "FAIRNESS_FLOWS",
+    "FAIRNESS_PLANS",
     "SUBSTRATES",
     "CellResult",
+    "FairnessCellResult",
+    "FairnessResult",
     "MatrixResult",
     "build_specs",
-    "run_matrix",
+    "render_fairness_report",
     "render_report",
+    "run_fairness_matrix",
+    "run_matrix",
 ]
 
 #: (protocol, strategy) pairs — strategies apply to the blast family.
@@ -267,6 +273,224 @@ def run_matrix(
     cells = tuple(CellResult(**row) for row in rows)
     report = render_report(cells, seed=seed, size_bytes=size_bytes)
     return MatrixResult(cells=cells, report=report)
+
+
+# -- multi-flow fairness ----------------------------------------------------
+
+#: Concurrent-flow counts swept by the fairness matrix.
+FAIRNESS_FLOWS: Tuple[int, ...] = (2, 4, 8)
+
+#: Builtin plans whose faults are spread across the run rather than
+#: concentrated on the head of the frame stream — a head-targeted plan
+#: (drop-data-head) taxes whichever flow happens to start first, which
+#: measures the plan's aim, not the scheduler's fairness.
+FAIRNESS_PLANS: Tuple[str, ...] = (
+    "clean",
+    "corrupt-sprinkle",
+    "delay-spike",
+    "random-mayhem",
+)
+
+FAIRNESS_SIZE_BYTES = 64 * 1024
+FAIRNESS_TIMEOUT_S = 0.05
+FAIRNESS_MAX_ROUNDS = 200
+#: Minimum acceptable Jain index over per-flow goodput.
+FAIRNESS_JAIN_MIN = 0.9
+
+
+@dataclass(frozen=True)
+class FairnessCellResult:
+    """Verdict for one (substrate, flow count, plan) fairness cell."""
+
+    substrate: str
+    flows: int
+    plan: str
+    ok: bool
+    jain: float
+    ok_flows: int
+    failed_flows: int
+    retransmits: int
+    error: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.ok and self.jain >= FAIRNESS_JAIN_MIN
+
+
+@dataclass(frozen=True)
+class FairnessResult:
+    """The fairness sweep: all cells plus the rendered report."""
+
+    cells: Tuple[FairnessCellResult, ...]
+    report: str
+
+    @property
+    def all_passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    @property
+    def failures(self) -> List[FairnessCellResult]:
+        return [cell for cell in self.cells if not cell.passed]
+
+
+@dataclass(frozen=True)
+class FairnessSpec:
+    """One fairness cell — a picklable spec for the pool."""
+
+    substrate: str
+    flows: int
+    plan_json: str
+    seed: int
+
+
+def _fairness_config():
+    from ..service.engine import ServiceConfig
+
+    return ServiceConfig(
+        protocol="sliding",
+        window=8,
+        congestion="reno",
+        policy="rr",
+        timeout_s=FAIRNESS_TIMEOUT_S,
+        max_rounds=FAIRNESS_MAX_ROUNDS,
+    )
+
+
+def _run_des_fairness(flows: int, plan: FaultPlan, seed: int) -> dict:
+    from ..congestion.fairness import jain_index
+    from ..service.loadgen import run_des_loadgen
+    from .scripted import ScriptedErrors
+
+    result = run_des_loadgen(
+        flows,
+        config=_fairness_config(),
+        size_bytes=FAIRNESS_SIZE_BYTES,
+        arrivals="simultaneous",
+        error_model=ScriptedErrors(plan, seed=seed),
+    )
+    goodputs = [
+        row["bytes"] / row["completion_s"]
+        for row in result.report["transfers"]
+        if row["ok"] and row["completion_s"]
+    ]
+    summary = result.report["summary"]
+    ok = (summary["ok"] == flows and summary["failed"] == 0
+          and result.payloads_ok)
+    return {
+        "ok": ok,
+        "jain": round(jain_index(goodputs), 6) if goodputs else 0.0,
+        "ok_flows": summary["ok"],
+        "failed_flows": flows - summary["ok"],
+        "retransmits": summary["retransmits"],
+        "error": "" if ok else "not all flows completed intact",
+    }
+
+
+def _run_udp_fairness(flows: int, plan: FaultPlan, seed: int) -> dict:
+    from ..congestion.fairness import jain_index
+    from ..service.loadgen import run_udp_loadgen
+
+    result = run_udp_loadgen(
+        flows,
+        config=_fairness_config(),
+        size_bytes=FAIRNESS_SIZE_BYTES,
+        fault_plan=plan,
+        fault_seed=seed,
+    )
+    pulls = result.pulls
+    goodputs = [
+        pull.size_bytes / pull.elapsed_s
+        for pull in pulls.values()
+        if pull.ok and pull.elapsed_s > 0
+    ]
+    ok_flows = sum(1 for pull in pulls.values() if pull.ok)
+    ok = ok_flows == flows
+    return {
+        "ok": ok,
+        "jain": round(jain_index(goodputs), 6) if goodputs else 0.0,
+        "ok_flows": ok_flows,
+        "failed_flows": flows - ok_flows,
+        "retransmits": 0,
+        "error": "" if ok else "not all flows completed intact",
+    }
+
+
+def _run_fairness_spec(spec: FairnessSpec) -> dict:
+    """Module-level worker (ExperimentPool boundary: must be picklable)."""
+    plan = FaultPlan.from_json(spec.plan_json)
+    if spec.substrate == "des":
+        raw = _run_des_fairness(spec.flows, plan, spec.seed)
+    elif spec.substrate == "udp":
+        raw = _run_udp_fairness(spec.flows, plan, spec.seed)
+    else:
+        raise ValueError(f"unknown substrate {spec.substrate!r}")
+    return {
+        "substrate": spec.substrate,
+        "flows": spec.flows,
+        "plan": plan.name,
+        **raw,
+    }
+
+
+def run_fairness_matrix(
+    flows: Sequence[int] = FAIRNESS_FLOWS,
+    plan_names: Sequence[str] = FAIRNESS_PLANS,
+    substrates: Sequence[str] = SUBSTRATES,
+    seed: int = DEFAULT_SEED,
+    n_jobs: int = 1,
+) -> FairnessResult:
+    """Sweep flows × plan × substrate under the Reno sliding service.
+
+    Every flow pulls the same body size simultaneously through one
+    shared service (round-robin scheduler, Reno congestion control);
+    the cell passes when every flow completes intact and Jain's index
+    over per-flow goodput stays ≥ :data:`FAIRNESS_JAIN_MIN`.  DES cells
+    are deterministic — their Jain values are printed and golden-pinned;
+    UDP cells are wall-clock, so only their verdicts are printed.
+    """
+    plans = [BUILTIN_PLANS[name] for name in plan_names]
+    specs = [
+        FairnessSpec(
+            substrate=substrate,
+            flows=count,
+            plan_json=plan.to_json(),
+            seed=mix_seed(mix_seed(seed, count), index),
+        )
+        for substrate in substrates
+        for count in flows
+        for index, plan in enumerate(plans)
+    ]
+    rows = ExperimentPool(n_jobs).map_shards(_run_fairness_spec, specs)
+    cells = tuple(FairnessCellResult(**row) for row in rows)
+    report = render_fairness_report(cells, seed=seed)
+    return FairnessResult(cells=cells, report=report)
+
+
+def render_fairness_report(
+    cells: Sequence[FairnessCellResult], seed: int
+) -> str:
+    """Fixed-order fairness section, byte-stable across equal-seed runs."""
+    lines = [
+        "# multi-flow fairness: Jain's index over per-flow goodput",
+        "# config: protocol=sliding window=8 congestion=reno policy=rr"
+        f" timeout_s={FAIRNESS_TIMEOUT_S}",
+        f"# seed={seed} size_bytes={FAIRNESS_SIZE_BYTES}"
+        f" jain_min={FAIRNESS_JAIN_MIN}",
+        "# columns: substrate flows plan verdict ok failed retx jain",
+    ]
+    for cell in cells:
+        verdict = "PASS" if cell.passed else "FAIL"
+        if cell.substrate == "des":
+            counts = (f"{cell.ok_flows} {cell.failed_flows}"
+                      f" {cell.retransmits} {cell.jain:.6f}")
+        else:
+            counts = "- - - -"  # wall-clock substrate: values vary run to run
+        lines.append(
+            f"{cell.substrate} {cell.flows} {cell.plan} {verdict} {counts}"
+        )
+    failures = sum(1 for cell in cells if not cell.passed)
+    lines.append(f"# fairness cells={len(cells)} failures={failures}")
+    return "\n".join(lines) + "\n"
 
 
 def render_report(

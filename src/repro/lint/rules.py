@@ -179,7 +179,7 @@ class WallClockRule(Rule):
         "reads belong in udpnet/ and benchmarks only"
     )
 
-    _SCOPES = ("sim", "simnet", "core", "analysis")
+    _SCOPES = ("sim", "simnet", "core", "analysis", "congestion")
     _BANNED = {
         "time.time",
         "time.time_ns",
@@ -1010,7 +1010,8 @@ class SeedProvenanceRule(Rule):
         "never hard-code a seed or pass the random module itself"
     )
 
-    _SCOPES = ("sim", "simnet", "faults", "workloads", "parallel")
+    _SCOPES = ("sim", "simnet", "faults", "workloads", "parallel",
+               "congestion")
     _RNG_MODULES = ("random", "numpy.random")
     _NUMPY_CONSTRUCTORS = UnseededRandomRule._NUMPY_CONSTRUCTORS
 

@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..congestion.tuner import AutoTuner
 from ..core.frames import AckFrame, ControlFrame, NakFrame
 from .machines import TransferOutcome, make_sender_machine, service_payload
 from .metrics import ServiceMetrics
@@ -46,6 +47,12 @@ __all__ = ["ServiceConfig", "ServiceCore"]
 
 #: Protocols the service can multiplex.
 SERVICE_PROTOCOLS = ("blast", "sliding", "saw")
+
+#: Congestion modes a service can run its senders under.  ``fixed``
+#: reproduces the paper byte-for-byte, ``reno`` runs every transfer
+#: under Reno, ``auto`` lets the tuner pick {protocol, window,
+#: controller} per transfer from size and the observed loss rate.
+SERVICE_CONGESTION = ("fixed", "reno", "auto")
 
 
 @dataclass(frozen=True)
@@ -66,12 +73,18 @@ class ServiceConfig:
     seed: int = 7
     quantum_s: float = 0.01
     copy_s_per_packet: float = 0.00135
+    congestion: str = "fixed"
 
     def __post_init__(self) -> None:
         if self.protocol not in SERVICE_PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "
                 f"choose from {list(SERVICE_PROTOCOLS)}"
+            )
+        if self.congestion not in SERVICE_CONGESTION:
+            raise ValueError(
+                f"unknown congestion mode {self.congestion!r}; "
+                f"choose from {list(SERVICE_CONGESTION)}"
             )
         for name in ("packet_bytes", "max_rounds", "grants_per_poll",
                      "max_active", "window", "max_size_bytes"):
@@ -95,6 +108,7 @@ class ServiceConfig:
             "max_active": self.max_active,
             "max_queue": self.max_queue,
             "seed": self.seed,
+            "congestion": self.congestion,
         }
 
 
@@ -114,6 +128,11 @@ class _Pending:
     client: object
     size: int
     submitted_s: float
+    #: Tuner choice made at admission time (None outside auto mode) —
+    #: the pull reply already told the client which protocol to expect,
+    #: so activation must honour it even if the loss estimate has
+    #: moved since.
+    choice: Optional[object] = None
 
 
 class ServiceCore:
@@ -130,6 +149,13 @@ class ServiceCore:
         else:
             self.policy = get_policy(self.config.policy)
         self.metrics = ServiceMetrics()
+        # The auto mode shares one tuner across the service's lifetime:
+        # every finished transfer feeds the loss estimate the next
+        # activation's {protocol, window, controller} choice reads.
+        self._tuner: Optional[AutoTuner] = (
+            AutoTuner(self.config.packet_bytes)
+            if self.config.congestion == "auto" else None
+        )
         self._active: Dict[int, _Entry] = {}
         self._pending: Deque[_Pending] = deque()
         self._responses: Dict[int, dict] = {}
@@ -262,14 +288,19 @@ class ServiceCore:
                 or size > self.config.max_size_bytes):
             reply = {"status": "error", "reason": "bad size", "stream": stream_id}
         elif len(self._active) < self.config.max_active:
+            choice = (self._tuner.choose(size)
+                      if self._tuner is not None else None)
             self.metrics.on_submitted(stream_id, str(client), now)
-            self._activate(stream_id, client, size, now)
-            reply = self._ok_reply(stream_id, size)
+            self._activate(stream_id, client, size, now, choice=choice)
+            reply = self._ok_reply(stream_id, size, choice)
         elif len(self._pending) < self.config.max_queue:
+            choice = (self._tuner.choose(size)
+                      if self._tuner is not None else None)
             self.metrics.on_submitted(stream_id, str(client), now)
-            self._pending.append(_Pending(stream_id, client, size, now))
+            self._pending.append(_Pending(stream_id, client, size, now,
+                                          choice=choice))
             self.metrics.on_queue_depth(now, len(self._pending))
-            reply = self._ok_reply(stream_id, size)
+            reply = self._ok_reply(stream_id, size, choice)
         else:
             self.metrics.on_rejected(stream_id, str(client), "queue full", now)
             reply = {"status": "rejected", "reason": "queue full",
@@ -279,10 +310,17 @@ class ServiceCore:
         return [(self._control_reply(frame.request_id, stream_id, reply),
                  client)]
 
-    def _ok_reply(self, stream_id: int, size: int) -> dict:
+    def _ok_reply(self, stream_id: int, size: int,
+                  choice: Optional[object] = None) -> dict:
         packets = max(1, -(-size // self.config.packet_bytes))
-        return {"status": "ok", "stream": stream_id, "size": size,
-                "packets": packets, "seed": self.config.seed}
+        reply = {"status": "ok", "stream": stream_id, "size": size,
+                 "packets": packets, "seed": self.config.seed}
+        if choice is not None:
+            # Auto mode: the client must build the receiver matching the
+            # tuned protocol.  Only added under the tuner, so fixed-mode
+            # control frames stay byte-identical on the wire.
+            reply["protocol"] = choice.protocol
+        return reply
 
     def _control_reply(self, request_id: int, stream_id: int,
                        body: dict) -> ControlFrame:
@@ -293,15 +331,24 @@ class ServiceCore:
             stream_id=stream_id,
         )
 
-    def _activate(self, stream_id: int, client, size: int, now: float) -> None:
+    def _activate(self, stream_id: int, client, size: int, now: float,
+                  choice: Optional[object] = None) -> None:
         payload = service_payload(self.config.seed, stream_id, size)
+        protocol = self.config.protocol
+        window = self.config.window
+        congestion = self.config.congestion
+        if choice is not None:
+            protocol = choice.protocol
+            window = choice.window
+            congestion = choice.congestion
         machine = make_sender_machine(
-            self.config.protocol, stream_id, payload,
+            protocol, stream_id, payload,
             packet_bytes=self.config.packet_bytes,
             timeout_s=self.config.timeout_s,
             max_rounds=self.config.max_rounds,
             strategy=self.config.strategy,
-            window=self.config.window,
+            window=window,
+            congestion=congestion,
         )
         self._active[stream_id] = _Entry(machine=machine, client=client)
         self.metrics.on_started(stream_id, now)
@@ -310,7 +357,8 @@ class ServiceCore:
         admitted = False
         while self._pending and len(self._active) < self.config.max_active:
             pending = self._pending.popleft()
-            self._activate(pending.stream_id, pending.client, pending.size, now)
+            self._activate(pending.stream_id, pending.client, pending.size,
+                           now, choice=pending.choice)
             admitted = True
         if admitted:
             self.metrics.on_queue_depth(now, len(self._pending))
@@ -319,5 +367,7 @@ class ServiceCore:
         entry = self._active.pop(stream_id)
         outcome = entry.machine.outcome()
         self.finished[stream_id] = outcome
+        if self._tuner is not None and outcome.ok:
+            self._tuner.observe(outcome.data_frames_sent, outcome.retransmits)
         self.metrics.on_finished(stream_id, outcome, now)
         self._admit(now)

@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
+from ..congestion.controller import CongestionController, make_controller
 from ..core.frames import AckFrame, DataFrame, FrameKind, NakFrame
 from ..core.strategies import FailureDetection, get_strategy
 from ..core.tracker import ReceiverTracker, ReceptionReport
@@ -69,6 +70,9 @@ class TransferOutcome:
     retransmits: int = 0
     rounds: int = 0
     error: str = ""
+    #: Congestion-controller snapshot (cwnd/ssthresh/rto timeline);
+    #: None under the fixed controller, keeping legacy reports intact.
+    congestion: Optional[dict] = None
 
 
 def _packetize(payload: bytes, packet_bytes: int) -> List[bytes]:
@@ -82,7 +86,8 @@ class _SenderBase:
     """State shared by the sender machines."""
 
     def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
-                 timeout_s: float, max_rounds: int):
+                 timeout_s: float, max_rounds: int,
+                 controller: Optional[CongestionController] = None):
         if stream_id < 1:
             raise ValueError(f"stream_id must be >= 1, got {stream_id}")
         if timeout_s <= 0:
@@ -92,6 +97,11 @@ class _SenderBase:
         self.packet_bytes = packet_bytes
         self.timeout_s = timeout_s
         self.max_rounds = max_rounds
+        # All window and timer arithmetic routes through the controller;
+        # the default FixedController returns timeout_s and an unbounded
+        # window, reproducing the pre-congestion machines byte-for-byte.
+        self.controller = (controller if controller is not None
+                          else make_controller("fixed", timeout_s))
         self.chunks = _packetize(payload, packet_bytes)
         self.total = len(self.chunks)
         self.done = False
@@ -100,6 +110,9 @@ class _SenderBase:
         self.data_frames_sent = 0
         self.retransmits = 0
         self.rounds = 0
+
+    def _rto(self) -> float:
+        return self.controller.rto()
 
     @property
     def finished(self) -> bool:
@@ -115,6 +128,7 @@ class _SenderBase:
             retransmits=self.retransmits,
             rounds=self.rounds,
             error=self.error,
+            congestion=self.controller.snapshot(),
         )
 
     def _fail(self, message: str) -> None:
@@ -150,12 +164,18 @@ class BlastSenderMachine(_SenderBase):
 
     def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
                  timeout_s: float, max_rounds: int = 60,
-                 strategy: str = "selective"):
-        super().__init__(stream_id, payload, packet_bytes, timeout_s, max_rounds)
+                 strategy: str = "selective",
+                 controller: Optional[CongestionController] = None):
+        super().__init__(stream_id, payload, packet_bytes, timeout_s,
+                         max_rounds, controller=controller)
         self.strategy = get_strategy(strategy)
         self._queue: List[int] = list(range(self.total))
         self._index = 0
         self._reply_deadline: Optional[float] = None
+        self._reply_requested_at: Optional[float] = None
+        self._sent_seqs: Set[int] = set()
+        self._burst_clean = True
+        self._received_est = 0
         self.rounds = 1
 
     # -- step API ----------------------------------------------------------
@@ -163,6 +183,7 @@ class BlastSenderMachine(_SenderBase):
         if self.finished:
             return
         if self._reply_deadline is not None and now >= self._reply_deadline:
+            self.controller.on_timeout(now)
             self._start_round(None, "timeout")
 
     def has_frame(self, now: float) -> bool:
@@ -172,25 +193,48 @@ class BlastSenderMachine(_SenderBase):
         """Frames this machine could emit right now without new input."""
         if self.finished:
             return 0
-        return len(self._queue) - self._index
+        # A burst is the controller-window-limited prefix of the round's
+        # working set; bursts always start at index 0 (every reply or
+        # timeout resets the queue), so the cap needs no base offset.
+        # The fixed controller's unbounded window makes the burst the
+        # whole working set — the paper's blast discipline.
+        burst_end = min(len(self._queue), self.controller.window())
+        return max(0, burst_end - self._index)
 
     def next_frame(self, now: float) -> DataFrame:
+        burst_end = min(len(self._queue), self.controller.window())
         seq = self._queue[self._index]
         self._index += 1
-        if self.rounds > 1:
+        if seq in self._sent_seqs:
             self.retransmits += 1
-        last_of_round = self._index == len(self._queue)
+            self._burst_clean = False
+        self._sent_seqs.add(seq)
+        last_of_round = self._index >= burst_end
         if last_of_round:
-            self._reply_deadline = now + self.timeout_s
+            self._reply_deadline = now + self._rto()
+            self._reply_requested_at = now
         return self._data(seq, wants_reply=last_of_round)
 
     def on_frame(self, frame, now: float) -> None:
         if self.finished:
             return
         if isinstance(frame, AckFrame) and frame.seq == self.total - 1:
+            self._sample_reply_rtt(now)
+            newly = self.total - self._received_est
+            if newly > 0:
+                self.controller.on_ack(newly, now)
             self.done = True
             self._reply_deadline = None
         elif isinstance(frame, NakFrame):
+            self._sample_reply_rtt(now)
+            received = frame.total - len(frame.missing)
+            newly = received - self._received_est
+            if newly > 0:
+                self.controller.on_ack(newly, now)
+                self._received_est = received
+            else:
+                self.controller.on_dup_ack(now)
+            self.controller.on_loss(now)
             report = ReceptionReport(
                 total=frame.total,
                 complete=False,
@@ -200,11 +244,17 @@ class BlastSenderMachine(_SenderBase):
             self._start_round(report, "nak")
 
     def next_deadline(self) -> Optional[float]:
-        if self.finished or self._index < len(self._queue):
+        if self.finished:
             return None
         return self._reply_deadline
 
     # -- internals ---------------------------------------------------------
+    def _sample_reply_rtt(self, now: float) -> None:
+        # Karn's rule: only a burst with no retransmitted frames gives
+        # an unambiguous request->reply measurement.
+        if self._burst_clean and self._reply_requested_at is not None:
+            self.controller.on_rtt_sample(max(0.0, now - self._reply_requested_at))
+
     def _start_round(self, report: Optional[ReceptionReport], why: str) -> None:
         if self.rounds >= self.max_rounds:
             self._fail(f"gave up after {self.rounds} rounds (last: {why})")
@@ -213,6 +263,8 @@ class BlastSenderMachine(_SenderBase):
         self._queue = self.strategy.next_working_set(self.total, report)
         self._index = 0
         self._reply_deadline = None
+        self._reply_requested_at = None
+        self._burst_clean = True
 
 
 class WindowSenderMachine(_SenderBase):
@@ -229,14 +281,19 @@ class WindowSenderMachine(_SenderBase):
     FSM_IGNORES = (FrameKind.NAK, FrameKind.CONTROL)
 
     def __init__(self, stream_id: int, payload: bytes, packet_bytes: int,
-                 timeout_s: float, max_rounds: int = 60, window: int = 4):
-        super().__init__(stream_id, payload, packet_bytes, timeout_s, max_rounds)
+                 timeout_s: float, max_rounds: int = 60, window: int = 4,
+                 controller: Optional[CongestionController] = None):
+        super().__init__(stream_id, payload, packet_bytes, timeout_s,
+                         max_rounds, controller=controller)
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
         self._next_unsent = 0
         self._outstanding: Dict[int, float] = {}  # seq -> retransmit deadline
         self._attempts: Dict[int, int] = {}
+        self._sent_at: Dict[int, float] = {}  # seq -> first transmission time
+        self._fast_retx: Set[int] = set()
+        self._backoff_blackout = float("-inf")
         self._acked = 0
         self.rounds = 1
 
@@ -259,7 +316,11 @@ class WindowSenderMachine(_SenderBase):
             return 0
         overdue = sum(1 for deadline in self._outstanding.values()
                       if now >= deadline)
-        fresh_room = min(self.window - len(self._outstanding),
+        # Fresh sends respect both the configured window and the
+        # congestion window (unbounded for the fixed controller);
+        # retransmissions are already in flight and always allowed.
+        window = min(self.window, self.controller.window())
+        fresh_room = min(window - len(self._outstanding),
                          self.total - self._next_unsent)
         return overdue + max(0, fresh_room)
 
@@ -272,43 +333,81 @@ class WindowSenderMachine(_SenderBase):
                 self.retransmits += 1
                 self.rounds += 1
                 self._attempts[seq] = self._attempts.get(seq, 0) + 1
-                self._outstanding[seq] = now + self.timeout_s
+                if seq in self._fast_retx:
+                    # A fast retransmit is loss recovery, not a timer
+                    # expiry — no RTO backoff.
+                    self._fast_retx.discard(seq)
+                elif now >= self._backoff_blackout:
+                    # One backoff per RTO period, however many packets
+                    # expired together in the burst.
+                    self.controller.on_timeout(now)
+                    self._backoff_blackout = now + self._rto()
+                self._outstanding[seq] = now + self._rto()
                 return self._data(seq, wants_reply=True)
         seq = self._next_unsent
         self._next_unsent += 1
         self._attempts[seq] = 1
-        self._outstanding[seq] = now + self.timeout_s
+        self._sent_at[seq] = now
+        self._outstanding[seq] = now + self._rto()
         return self._data(seq, wants_reply=True)
 
     def on_frame(self, frame, now: float) -> None:
         if self.finished or not isinstance(frame, AckFrame):
             return
         if frame.seq in self._outstanding:
+            lowest = min(self._outstanding)
             del self._outstanding[frame.seq]
             self._acked += 1
+            if frame.seq == lowest:
+                self.controller.on_ack(1, now)
+            else:
+                # An ack above the lowest outstanding packet is gap
+                # evidence — the per-packet-ack analogue of a duplicate
+                # ack (SACK-style).  Three of them fast-retransmit the
+                # presumed-lost packet by making it overdue now.
+                self._signal_dup_ack(now)
+            if self._attempts.get(frame.seq, 0) == 1 and frame.seq in self._sent_at:
+                # Karn's rule: only first-transmission exchanges are
+                # unambiguous RTT samples.
+                self.controller.on_rtt_sample(
+                    max(0.0, now - self._sent_at[frame.seq]))
             if self._acked == self.total:
                 self.done = True
+        else:
+            # Duplicate/stale ack for an already-acknowledged packet.
+            self._signal_dup_ack(now)
 
     def next_deadline(self) -> Optional[float]:
         if self.finished or not self._outstanding:
             return None
         return min(self._outstanding.values())
 
+    # -- internals ---------------------------------------------------------
+    def _signal_dup_ack(self, now: float) -> None:
+        if self.controller.on_dup_ack(now) and self._outstanding:
+            lowest = min(self._outstanding)
+            self._outstanding[lowest] = now  # overdue: retransmit immediately
+            self._fast_retx.add(lowest)
+
 
 def make_sender_machine(protocol: str, stream_id: int, payload: bytes,
                         packet_bytes: int, timeout_s: float,
                         max_rounds: int = 60, strategy: str = "selective",
-                        window: int = 4):
+                        window: int = 4, congestion: str = "fixed"):
     """Factory keyed by the service's protocol names."""
+    controller = make_controller(congestion, timeout_s)
     if protocol == "blast":
         return BlastSenderMachine(stream_id, payload, packet_bytes,
-                                  timeout_s, max_rounds, strategy=strategy)
+                                  timeout_s, max_rounds, strategy=strategy,
+                                  controller=controller)
     if protocol == "sliding":
         return WindowSenderMachine(stream_id, payload, packet_bytes,
-                                   timeout_s, max_rounds, window=window)
+                                   timeout_s, max_rounds, window=window,
+                                   controller=controller)
     if protocol == "saw":
         return WindowSenderMachine(stream_id, payload, packet_bytes,
-                                   timeout_s, max_rounds, window=1)
+                                   timeout_s, max_rounds, window=1,
+                                   controller=controller)
     raise ValueError(
         f"unknown service protocol {protocol!r}; "
         "choose from ['blast', 'sliding', 'saw']"

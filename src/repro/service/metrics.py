@@ -73,6 +73,10 @@ class TransferRecord:
     retransmits: int = 0
     rounds: int = 0
     error: str = ""
+    #: Congestion-controller snapshot (cwnd/ssthresh/rto timeline);
+    #: None for fixed-controller transfers, keeping their report rows
+    #: byte-identical to the pre-congestion schema.
+    congestion: Optional[dict] = None
 
     @property
     def completion_s(self) -> Optional[float]:
@@ -124,6 +128,7 @@ class ServiceMetrics:
         record.retransmits = outcome.retransmits
         record.rounds = outcome.rounds
         record.error = outcome.error
+        record.congestion = getattr(outcome, "congestion", None)
 
     def on_rejected(self, stream_id: int, client: str, reason: str,
                     now: float) -> None:
@@ -196,6 +201,11 @@ class ServiceMetrics:
                     "queue_wait_s": (None if r.queue_wait_s is None
                                      else _r(r.queue_wait_s)),
                     "error": r.error,
+                    # Only present for congestion-controlled transfers;
+                    # omitting it under the fixed controller keeps the
+                    # schema-1 rows byte-identical.
+                    **({"congestion": r.congestion}
+                       if r.congestion is not None else {}),
                 }
                 for r in sorted(self.transfers.values(),
                                 key=lambda r: r.stream_id)

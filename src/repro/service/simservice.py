@@ -144,7 +144,10 @@ def _client_process(env: Environment, host: Host, server: Host,
         status[stream_id] = response.get("status", "error")
         return
 
-    receiver = receiver_for(protocol, stream_id, strategy)
+    # Auto-tuned servers tell the client which protocol they picked for
+    # this stream; otherwise the configured protocol applies.
+    receiver = receiver_for(response.get("protocol", protocol), stream_id,
+                            strategy)
 
     def is_mine(frame) -> bool:
         return getattr(frame, "stream_id", 0) == stream_id

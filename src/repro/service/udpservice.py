@@ -229,7 +229,10 @@ class UdpServiceClient(UdpEndpoint):
                                  elapsed_s=time.monotonic() - started,
                                  error=response.get("reason", ""))
 
-        receiver = receiver_for(self.protocol, stream_id, self.strategy)
+        # Auto-tuned servers tell the client which protocol they picked
+        # for this stream; otherwise the configured protocol applies.
+        receiver = receiver_for(response.get("protocol", self.protocol),
+                                stream_id, self.strategy)
         deadline = time.monotonic() + self.recv_timeout_s
         while not receiver.done:
             remaining = deadline - time.monotonic()

@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Tuple, Union
 
+from ..congestion.controller import CongestionController, as_timeout_policy
 from ..core.base import packetize, reassemble
 from ..core.frames import AckFrame, DataFrame, FrameKind, NakFrame, with_reply_flag
 from ..core.strategies import (
@@ -42,6 +43,7 @@ class BlastSender(UdpEndpoint):
         max_rounds: int = 500,
         transfer_id: int = 1,
         timeout_policy: Optional[TimeoutPolicy] = None,
+        controller: Optional[CongestionController] = None,
     ) -> UdpTransferOutcome:
         """Transfer ``data`` to ``dst`` as one blast (plus retransmission).
 
@@ -52,9 +54,19 @@ class BlastSender(UdpEndpoint):
         ``timeout_s``, the historical behaviour); per Karn's rule only
         the first round's reply — no retransmissions outstanding, no
         nudge retries — contributes an RTT sample.
+
+        ``controller`` (overrides ``timeout_policy``) supplies the T_r
+        timer and, for the NAK-driven strategies, caps each round's
+        burst at the congestion window; NAK reports feed it loss and
+        delivery-progress events.
         """
         strategy = get_strategy(strategy) if isinstance(strategy, str) else strategy
-        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
+        if controller is not None:
+            policy: TimeoutPolicy = as_timeout_policy(controller)
+        elif timeout_policy is not None:
+            policy = timeout_policy
+        else:
+            policy = FixedTimeout(timeout_s)
         frames = packetize(data, self.packet_bytes, transfer_id)
         total = len(frames)
         outcome = UdpTransferOutcome(
@@ -63,27 +75,39 @@ class BlastSender(UdpEndpoint):
         working: List[int] = list(range(total))
         start = time.monotonic()
         reliable = strategy.mode is FailureDetection.LAST_PACKET_RELIABLE
+        received_est = 0
+        sent_seqs: set = set()
 
         for round_index in range(max_rounds):
             outcome.rounds += 1
             wait_s = reliable_retry_s if reliable else policy.current()
-            # Send the round's working set; the last packet requests a reply.
-            for position, seq in enumerate(working):
+            # Send the round's working set; the last packet requests a
+            # reply.  A controller caps the burst at its window for the
+            # NAK-driven strategies (the receiver's report re-requests
+            # whatever the cap deferred); the timer-only strategy needs
+            # the whole set on the wire before the receiver can answer,
+            # so it always blasts in full.
+            burst = working
+            if controller is not None and strategy.uses_nak:
+                burst = working[: max(1, controller.window())]
+            for position, seq in enumerate(burst):
                 frame = frames[seq]
-                if position == len(working) - 1:
+                if position == len(burst) - 1:
                     frame = with_reply_flag(frame)
                 self.sock.sendto(encode(frame), dst)
                 outcome.data_frames_sent += 1
-                if round_index:
+                if seq in sent_seqs:
                     outcome.retransmissions += 1
+                sent_seqs.add(seq)
             round_sent_at = time.monotonic()
             reply = self._await_reply(transfer_id, wait_s)
-            # Reliable-last mode: keep nudging the last packet by itself.
+            # Reliable-last mode: keep nudging the reply-requesting
+            # packet by itself.
             retries = 0
             while reply is None and reliable and retries < max_rounds:
                 outcome.timeouts += 1
                 retries += 1
-                last = with_reply_flag(frames[working[-1]])
+                last = with_reply_flag(frames[burst[-1]])
                 self.sock.sendto(encode(last), dst)
                 outcome.data_frames_sent += 1
                 outcome.retransmissions += 1
@@ -97,9 +121,20 @@ class BlastSender(UdpEndpoint):
                 # Karn-clean round: every frame sent exactly once.
                 policy.record_sample(time.monotonic() - round_sent_at)
             if isinstance(reply, AckFrame):
+                if controller is not None:
+                    controller.on_ack(max(0, total - received_est))
                 outcome.ok = True
                 outcome.elapsed_s = time.monotonic() - start
                 return outcome
+            if controller is not None:
+                received = reply.total - len(reply.missing)
+                newly = received - received_est
+                if newly > 0:
+                    controller.on_ack(newly)
+                    received_est = received
+                else:
+                    controller.on_dup_ack()
+                controller.on_loss()
             report = ReceptionReport(
                 total=reply.total,
                 complete=False,

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Tuple
 
+from ..congestion.controller import CongestionController, as_timeout_policy
 from ..core.base import packetize, reassemble
 from ..core.frames import AckFrame, DataFrame, FrameKind, with_reply_flag
 from ..core.timers import FixedTimeout, TimeoutPolicy
@@ -37,6 +38,7 @@ class SawSender(UdpEndpoint):
         max_retries: int = 200,
         transfer_id: int = 1,
         timeout_policy: Optional[TimeoutPolicy] = None,
+        controller: Optional[CongestionController] = None,
     ) -> UdpTransferOutcome:
         """Transfer ``data`` to ``dst``; blocks until acknowledged.
 
@@ -47,8 +49,18 @@ class SawSender(UdpEndpoint):
         and no stale/duplicate acknowledgement was consumed while
         waiting — otherwise the measured interval could pair a
         retransmission with an earlier transmission's ack.
+
+        ``controller`` (overrides ``timeout_policy``) supplies the
+        retransmission timer instead; stop-and-wait *is* a window of
+        one, so its adaptive RTO is the only knob congestion control
+        has here.
         """
-        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
+        if controller is not None:
+            policy: TimeoutPolicy = as_timeout_policy(controller)
+        elif timeout_policy is not None:
+            policy = timeout_policy
+        else:
+            policy = FixedTimeout(timeout_s)
         frames = packetize(data, self.packet_bytes, transfer_id)
         outcome = UdpTransferOutcome(
             ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=len(frames)

@@ -4,13 +4,21 @@ The sender blasts every packet without waiting (the window never closes,
 as the paper assumes), then collects per-packet acknowledgements and
 selectively retransmits whatever remains unacknowledged after a timeout.
 The receiver is the same per-packet-ack receiver stop-and-wait uses.
+
+A :class:`~repro.congestion.controller.CongestionController` can bound
+the blast: each round then transmits only the lowest-numbered unacked
+packets up to the congestion window, duplicate acks can trigger an
+immediate fast retransmit of the lowest hole, and ack/timeout events
+drive the controller's window and adaptive RTO.  Without a controller
+the historical never-closing-window behaviour is unchanged.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from ..congestion.controller import CongestionController, as_timeout_policy
 from ..core.base import packetize
 from ..core.frames import AckFrame, FrameKind, with_reply_flag
 from ..core.timers import FixedTimeout, TimeoutPolicy
@@ -36,61 +44,103 @@ class SlidingWindowSender(UdpEndpoint):
         max_rounds: int = 200,
         transfer_id: int = 1,
         timeout_policy: Optional[TimeoutPolicy] = None,
+        controller: Optional[CongestionController] = None,
     ) -> UdpTransferOutcome:
         """Transfer ``data`` to ``dst``; blocks until every ack arrives.
 
         ``timeout_policy`` sets each round's ack-collection budget
         (default: :class:`FixedTimeout` over ``timeout_s``).  Per Karn's
-        rule only a clean first round — all packets sent once, all acks
-        in — contributes an RTT sample; incomplete rounds back the
-        timer off instead.
+        rule only a transfer completing with every packet sent exactly
+        once contributes an RTT sample, and the timer backs off only on
+        a *silent* round — a round that collected fresh acks made
+        progress, however incomplete, and must not compound the backoff.
+
+        ``controller`` (overrides ``timeout_policy``) caps each round's
+        burst at the congestion window and receives ack / duplicate-ack
+        / timeout events; a fast-retransmit signal re-sends the lowest
+        unacknowledged packet immediately.
         """
-        policy = timeout_policy if timeout_policy is not None else FixedTimeout(timeout_s)
+        if controller is not None:
+            policy: TimeoutPolicy = as_timeout_policy(controller)
+        elif timeout_policy is not None:
+            policy = timeout_policy
+        else:
+            policy = FixedTimeout(timeout_s)
         frames = [with_reply_flag(f) for f in packetize(data, self.packet_bytes, transfer_id)]
         datagrams = {f.seq: encode(f) for f in frames}
         total = len(frames)
         acked: Set[int] = set()
+        sent_counts: Dict[int, int] = {seq: 0 for seq in range(total)}
         outcome = UdpTransferOutcome(
             ok=False, elapsed_s=0.0, payload_bytes=len(data), n_packets=total
         )
         start = time.monotonic()
 
-        def drain_acks(budget_s: float) -> None:
+        def transmit(seq: int) -> None:
+            self.sock.sendto(datagrams[seq], dst)
+            outcome.data_frames_sent += 1
+            sent_counts[seq] += 1
+            if sent_counts[seq] > 1:
+                outcome.retransmissions += 1
+
+        def drain_acks(budget_s: float, burst: Set[int]) -> int:
+            """Collect acks until the burst is covered or the budget is
+            spent; returns how many *new* acks arrived."""
+            fresh = 0
             deadline = time.monotonic() + budget_s
-            while len(acked) < total:
+            while not burst <= acked:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    return
+                    break
                 got = self._recv_frame(remaining)
                 if got is None:
-                    return
+                    break
                 reply, _ = got
-                if (
+                if not (
                     isinstance(reply, AckFrame)
                     and reply.transfer_id == transfer_id
                     and 0 <= reply.seq < total
                 ):
+                    continue
+                if reply.seq in acked:
+                    # A duplicate ack: the receiver saw duplicate data,
+                    # so an earlier ack (or retransmission) was in
+                    # flight twice.  The controller may answer with a
+                    # fast retransmit of the lowest hole.
+                    if controller is not None and controller.on_dup_ack():
+                        pending_now = [s for s in range(total) if s not in acked]
+                        if pending_now:
+                            transmit(pending_now[0])
+                else:
                     acked.add(reply.seq)
+                    fresh += 1
+                    if controller is not None:
+                        controller.on_ack(1)
+            return fresh
 
         for round_index in range(max_rounds):
             outcome.rounds += 1
             pending = [seq for seq in range(total) if seq not in acked]
+            if controller is not None:
+                pending = pending[: max(1, controller.window())]
             for seq in pending:
-                self.sock.sendto(datagrams[seq], dst)
-                outcome.data_frames_sent += 1
-                if round_index:
-                    outcome.retransmissions += 1
+                transmit(seq)
             round_sent_at = time.monotonic()
-            drain_acks(policy.current())
+            new_acks = drain_acks(policy.current(), set(pending))
             if len(acked) == total:
-                if round_index == 0:
+                if max(sent_counts.values()) == 1:
                     # Karn-clean: no packet was ever retransmitted.
                     policy.record_sample(time.monotonic() - round_sent_at)
                 outcome.ok = True
                 outcome.elapsed_s = time.monotonic() - start
                 return outcome
-            outcome.timeouts += 1
-            policy.record_timeout()
+            if not set(pending) <= acked:
+                outcome.timeouts += 1
+                if new_acks == 0:
+                    # Karn backoff applies to silent expiries only: a
+                    # round that gathered acks during a retransmission
+                    # burst made progress and keeps the current RTO.
+                    policy.record_timeout()
         outcome.error = f"{total - len(acked)} packets unacked after {max_rounds} rounds"
         outcome.elapsed_s = time.monotonic() - start
         return outcome

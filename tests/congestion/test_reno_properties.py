@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the Reno state machine.
+
+The FSM's safety net, independent of any particular transfer schedule:
+from any reachable (cwnd, ssthresh, state), *any* sequence of
+ack/dup-ack/loss/timeout events keeps ``cwnd >= 1`` packet and
+``ssthresh >= MIN_SSTHRESH``, and fast recovery is never re-entered for
+the same loss event — :meth:`on_dup_ack` returns True (fast retransmit)
+at most once until a new ack or a timeout exits recovery.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congestion.reno import (
+    FAST_RECOVERY,
+    MIN_SSTHRESH,
+    RenoController,
+    SLOW_START,
+)
+
+# One transfer event: ack of N new packets, a duplicate ack, explicit
+# loss evidence, a timer expiry, or a clean RTT sample.
+EVENTS = st.one_of(
+    st.tuples(st.just("ack"), st.integers(min_value=1, max_value=8)),
+    st.tuples(st.just("dup_ack"), st.just(0)),
+    st.tuples(st.just("loss"), st.just(0)),
+    st.tuples(st.just("timeout"), st.just(0)),
+    st.tuples(
+        st.just("rtt"),
+        st.floats(min_value=1e-6, max_value=2.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+)
+
+
+def apply(controller, event):
+    """Feed one generated event; returns on_dup_ack's retransmit flag."""
+    kind, arg = event
+    if kind == "ack":
+        controller.on_ack(newly_acked=arg)
+    elif kind == "dup_ack":
+        return controller.on_dup_ack()
+    elif kind == "loss":
+        controller.on_loss()
+    elif kind == "timeout":
+        controller.on_timeout()
+    elif kind == "rtt":
+        controller.on_rtt_sample(arg)
+    return False
+
+
+@given(events=st.lists(EVENTS, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_cwnd_and_ssthresh_floors_hold(events):
+    controller = RenoController(timeout_s=0.05)
+    for event in events:
+        apply(controller, event)
+        assert controller.cwnd >= 1.0, (event, repr(controller))
+        assert controller.ssthresh >= MIN_SSTHRESH, (event, repr(controller))
+        assert controller.window() >= 1
+        assert controller.rto() > 0.0
+
+
+@given(events=st.lists(EVENTS, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_fast_recovery_not_reentered_for_same_loss_event(events):
+    """on_dup_ack may fire a fast retransmit only from outside recovery:
+    while FAST_RECOVERY holds, further duplicates inflate the window and
+    never re-trigger.  Only a new ack or a timeout exits the state."""
+    controller = RenoController(timeout_s=0.05)
+    for event in events:
+        in_recovery_before = controller.state == FAST_RECOVERY
+        fired = apply(controller, event)
+        if fired:
+            assert event[0] == "dup_ack"
+            assert not in_recovery_before, "re-entered recovery while in it"
+            assert controller.state == FAST_RECOVERY
+
+
+@given(events=st.lists(EVENTS, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_fast_retransmit_count_matches_recovery_entries(events):
+    """Exactly one fast retransmit per entry into fast recovery."""
+    controller = RenoController(timeout_s=0.05)
+    entries = 0
+    for event in events:
+        before = controller.state
+        fired = apply(controller, event)
+        if controller.state == FAST_RECOVERY and before != FAST_RECOVERY:
+            entries += 1
+            assert fired
+    assert controller.fast_retransmits == entries
+
+
+@given(events=st.lists(EVENTS, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_timeout_always_restarts_slow_start(events):
+    controller = RenoController(timeout_s=0.05)
+    for event in events:
+        apply(controller, event)
+    controller.on_timeout()
+    assert controller.state == SLOW_START
+    assert controller.cwnd == 1.0
+    assert controller.ssthresh >= MIN_SSTHRESH
+
+
+@given(events=st.lists(EVENTS, max_size=120))
+@settings(max_examples=100, deadline=None)
+def test_snapshot_is_report_safe(events):
+    """Snapshots must round-trip into the byte-stable metrics report:
+    plain types, bounded timeline, counters consistent."""
+    controller = RenoController(timeout_s=0.05)
+    for event in events:
+        apply(controller, event)
+    snap = controller.snapshot()
+    assert snap["controller"] == "reno"
+    assert snap["cwnd"] >= 1.0
+    assert snap["ssthresh"] >= MIN_SSTHRESH
+    assert snap["fast_retransmits"] == controller.fast_retransmits
+    assert snap["rto_events"] == controller.rto_events
+    assert len(snap["timeline"]) <= 256
+    assert snap["timeline_dropped"] >= 0

@@ -1,0 +1,110 @@
+"""Congestion control threaded through the transfer service.
+
+Three contracts:
+
+1. **fixed preserves the seed behaviour** — a ``congestion="fixed"``
+   run is byte-identical to the pre-congestion report format: no
+   ``congestion`` key appears anywhere, and repeated runs reproduce the
+   same bytes (the goldens pin the absolute values).
+2. **reno reports its state** — every transfer row carries a snapshot
+   with the cwnd/ssthresh/rto timeline, still deterministically.
+3. **auto tunes per transfer** — the pull reply names the tuned
+   protocol, clients follow it, and under injected loss the tuner
+   migrates from the paper's blast to the congestion-controlled sliding
+   window.
+"""
+
+
+from repro.congestion.sweep import SWEEP_TIMEOUT_S
+from repro.service.engine import ServiceConfig
+from repro.service.loadgen import run_des_loadgen
+from repro.simnet.errors import BernoulliErrors
+
+
+def _loadgen(congestion, loss=0.0, clients=6, protocol="sliding"):
+    config = ServiceConfig(protocol=protocol, window=8,
+                           congestion=congestion,
+                           timeout_s=SWEEP_TIMEOUT_S, max_rounds=200)
+    error_model = BernoulliErrors(loss, seed=11) if loss > 0 else None
+    return run_des_loadgen(clients, config=config, size_bytes=16 * 1024,
+                           arrivals="uniform", span_s=0.5,
+                           error_model=error_model)
+
+
+class TestFixedPreservesSeedBehaviour:
+    def test_no_congestion_keys_in_fixed_report(self):
+        result = _loadgen("fixed")
+        assert result.ok
+        for row in result.report["transfers"]:
+            assert "congestion" not in row
+
+    def test_fixed_runs_are_byte_identical(self):
+        first = _loadgen("fixed", loss=0.02)
+        second = _loadgen("fixed", loss=0.02)
+        assert first.report_json == second.report_json
+
+    def test_config_echo_names_the_controller(self):
+        result = _loadgen("fixed")
+        assert result.report["config"]["congestion"] == "fixed"
+
+
+class TestRenoService:
+    def test_snapshots_ride_the_report(self):
+        result = _loadgen("reno", loss=0.02)
+        assert result.ok
+        rows = result.report["transfers"]
+        assert rows
+        for row in rows:
+            snap = row["congestion"]
+            assert snap["controller"] == "reno"
+            assert snap["cwnd"] >= 1.0
+            assert snap["ssthresh"] >= 2.0
+            assert snap["timeline"][0]["event"] == "start"
+
+    def test_reno_runs_are_byte_identical(self):
+        first = _loadgen("reno", loss=0.02)
+        second = _loadgen("reno", loss=0.02)
+        assert first.report_json == second.report_json
+
+    def test_loss_leaves_recovery_fingerprints(self):
+        result = _loadgen("reno", loss=0.05, clients=8)
+        assert result.ok
+        events = [
+            entry["event"]
+            for row in result.report["transfers"]
+            for entry in row["congestion"]["timeline"]
+        ]
+        # At 5% frame loss some transfer must have seen a loss event.
+        assert any(e in ("fast_retx", "rto", "loss") for e in events)
+
+
+class TestAutoTunedService:
+    def test_clean_network_tunes_to_blast(self):
+        result = _loadgen("auto")
+        assert result.ok
+        # On a clean LAN the tuner keeps the paper's choice: blast with
+        # the fixed controller, so rows carry no reno snapshot.
+        for row in result.report["transfers"]:
+            assert "congestion" not in row
+
+    def test_lossy_network_migrates_to_reno_sliding(self):
+        result = _loadgen("auto", loss=0.05, clients=10)
+        assert result.completed == 10
+        snapshots = [
+            row.get("congestion")
+            for row in result.report["transfers"]
+        ]
+        # Early transfers teach the estimator; later ones must have been
+        # moved onto the Reno-controlled sliding window.
+        assert any(s and s["controller"] == "reno" for s in snapshots)
+
+    def test_auto_runs_are_byte_identical(self):
+        first = _loadgen("auto", loss=0.05)
+        second = _loadgen("auto", loss=0.05)
+        assert first.report_json == second.report_json
+
+    def test_rejects_unknown_controller(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ServiceConfig(congestion="vegas")

@@ -181,3 +181,44 @@ class TestSlidingWindowAdaptiveTimeout:
         assert sent.ok and received.data == DATA
         assert sent.retransmissions >= 1
         assert policy.samples == 0  # round 0 was dirtied by the loss
+
+    def test_karn_progress_round_does_not_back_off(self):
+        """Regression (Karn gap): a round that expired *after delivering
+        fresh acks* is making progress, not signalling congestion — the
+        sliding driver used to back the adaptive timer off anyway, so a
+        single lost data frame doubled the timeout for the rest of the
+        transfer."""
+        policy = AdaptiveTimeout(initial_s=0.05)
+        plan = _plan(
+            FaultRule(action="drop", kinds=("data",), indices=(1,))
+        )
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy, max_rounds=60),
+            )
+        assert sent.ok and received.data == DATA
+        assert sent.timeouts >= 1       # the round still counts as a retry
+        assert policy.expirations == 0  # ...but the timer never backs off
+
+    def test_karn_silent_round_still_backs_off(self):
+        """Companion: a round with no acks at all is genuine silence,
+        so the exponential backoff must still fire."""
+        policy = AdaptiveTimeout(initial_s=0.05)
+        plan = _plan(
+            FaultRule(action="drop", kinds=("ack",), direction="recv",
+                      first=0, last=3)  # every round-0 ack (4 packets)
+        )
+        with PerPacketAckReceiver() as receiver, SlidingWindowSender(
+            fault_plan=plan, fault_seed=1
+        ) as sender:
+            sent, received = run_pair(
+                receiver, {},
+                lambda: sender.send(DATA, receiver.address,
+                                    timeout_policy=policy, max_rounds=60),
+            )
+        assert sent.ok and received.data == DATA
+        assert policy.expirations >= 1
