@@ -1,0 +1,67 @@
+"""Cluster scaling ledger, checked byte-for-byte against the golden file.
+
+The sharded DES cluster at 256..10240 concurrent streams.  Every shard
+is an independent deterministic simulation and the merge is a keyed-set
+union, so the rendered ledger must match ``results/cluster_scaling.txt``
+exactly — and neither the ``--jobs`` fan-out nor shard completion order
+may change a byte.  The 10k-stream row is the ROADMAP scale-out
+deliverable: aggregate goodput growing near-linearly with shard count
+while per-stream goodput declines only gently with flow count (the
+Ghaderi–Towsley quantity).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import run_cluster_sweep, run_des_cluster
+
+GOLDEN = Path(__file__).parent / "results" / "cluster_scaling.txt"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_cluster_sweep(n_jobs=4)
+
+
+def test_cluster_sweep_matches_golden_ledger(results_dir, sweep):
+    assert [cell.flows for cell in sweep.cells] == [256, 1024, 4096, 10240]
+    assert sweep.all_ok, [
+        (cell.flows, cell.report.summary()) for cell in sweep.cells
+        if not cell.all_ok
+    ]
+
+    (results_dir / "cluster_scaling.txt").write_text(sweep.report)
+    assert sweep.report == GOLDEN.read_text(), (
+        "cluster scaling ledger drifted from the committed golden; "
+        "regenerate with: PYTHONPATH=src python -m repro --jobs 4 "
+        "cluster --mode des --out benchmarks/results/cluster_scaling.txt"
+    )
+
+
+def test_ten_k_stream_ledger_is_byte_stable_across_job_counts():
+    # The acceptance bar: the 10k-stream merged cluster report is
+    # byte-identical for --jobs 1/2/8.
+    reports = [
+        run_des_cluster(10240, n_jobs=jobs).report.to_json()
+        for jobs in (1, 2, 8)
+    ]
+    assert reports[0] == reports[1] == reports[2]
+
+
+def test_aggregate_goodput_scales_with_shards(sweep):
+    # Scale-out story of the committed ledger: more shards means more
+    # aggregate goodput (near-linear), while per-stream goodput decays
+    # only gently as the flow count grows 40x.
+    aggregate = [
+        cell.report.summary()["aggregate_goodput_bytes_per_s"]
+        for cell in sweep.cells
+    ]
+    assert aggregate == sorted(aggregate), aggregate
+    first, last = sweep.cells[0], sweep.cells[-1]
+    shard_growth = last.shards / first.shards
+    goodput_growth = (
+        last.report.summary()["aggregate_goodput_bytes_per_s"]
+        / first.report.summary()["aggregate_goodput_bytes_per_s"]
+    )
+    assert goodput_growth > 0.5 * shard_growth, (shard_growth, goodput_growth)

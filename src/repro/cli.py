@@ -12,6 +12,7 @@ moveto    V-kernel MoveTo demonstration
 lint      replint static analysis (determinism & protocol invariants)
 faults    fault-injection conformance matrix across DES and UDP
 serve     concurrent transfer service on one UDP endpoint
+cluster   sharded multi-process service cluster (UDP or DES)
 loadgen   drive N concurrent clients (DES or loopback UDP)
 perf      microbenchmark suites + fastpath-vs-seed speedup report
 congestion  goodput-vs-loss sweep for the congestion controllers
@@ -37,6 +38,9 @@ Examples
     python -m repro --jobs 4 faults --fairness
     python -m repro serve --once 16 --policy rr --report json
     python -m repro serve --once 16 --congestion reno
+    python -m repro cluster --workers 4 --clients 16 --policy rr --report table
+    python -m repro cluster --placement reuseport --workers 2 --clients 8
+    python -m repro --jobs 4 cluster --mode des --check benchmarks/results/cluster_scaling.txt
     python -m repro loadgen --clients 8 --policy auto --report table
     python -m repro --jobs 4 congestion --check benchmarks/results/congestion_sweep.txt
     python -m repro loadgen --clients 16 --arrivals poisson --report table
@@ -265,6 +269,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a builtin fault plan at the server socket",
     )
     serve.add_argument("--fault-seed", type=int, default=None)
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded multi-process service cluster"
+    )
+    cluster.add_argument(
+        "--mode", choices=["udp", "des"], default="udp",
+        help="real worker processes (udp) or the sharded DES sweep (des)",
+    )
+    cluster.add_argument("--workers", type=int, default=2,
+                        help="udp mode: worker processes (shards)")
+    cluster.add_argument("--clients", type=int, default=8,
+                        help="udp mode: concurrent pulls to drive")
+    cluster.add_argument(
+        "--placement", choices=["hash", "reuseport"], default="hash",
+        help="stream->shard mapping: deterministic rendezvous hash in "
+             "the client, or one SO_REUSEPORT port (kernel picks)",
+    )
+    cluster.add_argument("--size", type=_parse_size, default=4096,
+                        help="udp mode: per-transfer bytes")
+    cluster.add_argument(
+        "--protocol", choices=["blast", "sliding", "saw"], default="blast"
+    )
+    cluster.add_argument(
+        "--policy", choices=["fifo", "rr", "copy-budget", "auto"],
+        default="fifo",
+        help="scheduler policy; 'auto' keeps fifo scheduling and turns "
+             "on the per-transfer protocol auto-tuner",
+    )
+    cluster.add_argument(
+        "--congestion", choices=["fixed", "reno", "auto"], default=None,
+        help="congestion controller (default: fixed)",
+    )
+    cluster.add_argument("--max-active", type=int, default=8)
+    cluster.add_argument("--max-queue", type=int, default=64)
+    cluster.add_argument("--window", type=int, default=4)
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument(
+        "--fault-plan", metavar="NAME",
+        help="replay a builtin fault plan at every worker socket "
+             "(per-shard mixed seeds)",
+    )
+    cluster.add_argument("--fault-seed", type=int, default=None)
+    cluster.add_argument(
+        "--duration", type=float, default=30.0, metavar="SECONDS",
+        help="udp mode: worker serve bound (hard timeout)",
+    )
+    cluster.add_argument(
+        "--no-restart", action="store_true",
+        help="udp mode: mark a dead worker degraded instead of "
+             "restarting it once",
+    )
+    cluster.add_argument(
+        "--report", choices=["json", "canonical", "table", "none"],
+        default="table",
+        help="merged cluster report printed on exit (canonical = the "
+             "placement-independent byte-stable projection)",
+    )
+    cluster.add_argument(
+        "--flows", metavar="N[,N...]",
+        help="des mode: comma-separated flow counts "
+             "(default: the committed 256..10240 sweep)",
+    )
+    cluster.add_argument(
+        "--out", metavar="PATH",
+        help="des mode: also write the scaling ledger to PATH",
+    )
+    cluster.add_argument(
+        "--check", metavar="PATH",
+        help="des mode: diff the ledger against a committed golden",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="drive N concurrent clients against the service"
@@ -589,6 +663,25 @@ def _service_config(args):
     return ServiceConfig(**kwargs)
 
 
+def _install_stop_handlers(stop) -> None:
+    """SIGTERM/SIGINT -> graceful stop (drain grants, flush the report).
+
+    Signal handlers only install from the main thread; anywhere else
+    (tests driving main() from a worker thread) the caller keeps the
+    default KeyboardInterrupt behaviour.
+    """
+    import signal
+
+    def _request_stop(signum, frame):
+        stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:  # pragma: no cover - non-main-thread caller
+        pass
+
+
 def _cmd_serve(args) -> int:
     from .service import UdpTransferService
 
@@ -602,6 +695,7 @@ def _cmd_serve(args) -> int:
         config, bind=(args.host, args.port),
         fault_plan=fault_plan, fault_seed=args.fault_seed,
     )
+    _install_stop_handlers(service.stop)
     host, port = service.address
     print(f"serving on {host}:{port} "
           f"({config.protocol}, policy={config.policy}, "
@@ -609,7 +703,7 @@ def _cmd_serve(args) -> int:
     try:
         completed = service.serve(expected_streams=args.once,
                                   duration_s=args.duration)
-    except KeyboardInterrupt:  # pragma: no cover - interactive
+    except KeyboardInterrupt:  # pragma: no cover - non-main-thread only
         completed = False
     finally:
         service.sock.close()
@@ -618,6 +712,66 @@ def _cmd_serve(args) -> int:
     elif args.report == "table":
         print(service.report_table())
     return 0 if (args.once is None or completed) else 1
+
+
+def _cmd_cluster(args) -> int:
+    if args.mode == "des":
+        from .cluster import CLUSTER_SWEEP_FLOWS, run_cluster_sweep
+
+        flows = CLUSTER_SWEEP_FLOWS
+        if args.flows:
+            flows = tuple(int(part) for part in args.flows.split(","))
+        sweep = run_cluster_sweep(flows=flows, n_jobs=args.jobs)
+        print(sweep.report, end="")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(sweep.report)
+            print(f"wrote {args.out}")
+        if args.check:
+            with open(args.check, "r", encoding="utf-8") as handle:
+                golden = handle.read()
+            if sweep.report != golden:
+                print(f"MISMATCH against {args.check}")
+                return 1
+            print(f"matches {args.check}")
+        return 0 if sweep.all_ok else 1
+
+    from .cluster import run_udp_cluster
+
+    fault_plan = None
+    if args.fault_plan:
+        from .faults.plans import builtin_plan
+
+        fault_plan = builtin_plan(args.fault_plan)
+    config = _service_config(args)
+    result = run_udp_cluster(
+        workers=args.workers,
+        clients=args.clients,
+        config=config,
+        placement=args.placement,
+        size_bytes=args.size,
+        fault_plan=fault_plan,
+        fault_seed=args.fault_seed,
+        duration_s=args.duration,
+        restart_limit=0 if args.no_restart else 1,
+    )
+    if args.report == "json":
+        print(result.report.to_json(), end="")
+    elif args.report == "canonical":
+        print(result.report.canonical_json(), end="")
+    elif args.report == "table":
+        summary = result.report.summary()
+        print(f"cluster: {result.workers} workers ({result.placement}), "
+              f"{summary['shards']} shards, {summary['degraded']} degraded")
+        for stream_id in sorted(result.pulls):
+            pull = result.pulls[stream_id]
+            print(f"stream {stream_id}: {pull.status} "
+                  f"{pull.size_bytes} bytes payload_ok={pull.payload_ok}")
+        print(f"{summary['ok']} ok, {summary['failed']} failed, "
+              f"{summary['rejected']} rejected; "
+              f"aggregate_goodput="
+              f"{summary['aggregate_goodput_bytes_per_s']:.0f} B/s")
+    return 0 if result.all_ok else 1
 
 
 def _cmd_loadgen(args) -> int:
@@ -750,6 +904,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "faults": _cmd_faults,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "loadgen": _cmd_loadgen,
         "perf": _cmd_perf,
         "congestion": _cmd_congestion,

@@ -19,9 +19,10 @@ REP112    blocking calls *reachable* from a service event-loop entry
 REP113    RNG seeds that do not flow from caller-provided data
 REP114    protocol-FSM exhaustiveness / terminal-absorption check
 REP115    recv-ring ``memoryview`` escaping its batch iteration
+REP116    unjoined / non-spawn-safe worker processes in ``cluster/``
 ========  ==========================================================
 
-REP101–REP107, REP109–REP111 and REP115 are single-file rules;
+REP101–REP107, REP109–REP111, REP115 and REP116 are single-file rules;
 REP108 and REP112–REP114 are whole-program rules built on the
 :mod:`.callgraph` cross-module call graph (and, for REP114, the
 :mod:`.fsm` state-machine extractor).

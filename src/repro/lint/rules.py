@@ -1262,8 +1262,196 @@ class BufferEscapeRule(Rule):
         return False
 
 
+# ---------------------------------------------------------------------------
+# REP116 — worker-process hygiene in cluster/
+# ---------------------------------------------------------------------------
+
+class ClusterProcessHygieneRule(Rule):
+    """Process objects in ``cluster/`` must be joined and spawn-safe.
+
+    Two failure modes the coordinator design rules out and this rule
+    keeps ruled out:
+
+    - a ``multiprocessing.Process`` / ``subprocess.Popen`` constructed
+      and then forgotten (never ``join()``/``wait()``ed, never stored
+      anywhere that outlives the scope) leaks a child and hides its
+      exit code from the failure detector;
+    - a ``Process(target=...)`` pointing at a lambda or nested def
+      cannot pickle under the ``spawn`` start method (the same boundary
+      REP104 enforces for pool workers).
+    """
+
+    id = "REP116"
+    severity = "error"
+    family = "parallelism"
+    title = "unjoined or non-spawn-safe worker process in cluster/"
+    fix_hint = (
+        "join()/wait() every spawned process (or hand it to a joined "
+        "handle), and give Process a module-level target= so it "
+        "pickles under the spawn start method"
+    )
+
+    _PROC_CALLS = {"Process", "Popen"}
+    _JOIN_METHODS = {"join", "wait"}
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dir("cluster"):
+            return
+        yield from self._scan_scope(ctx, ctx.tree.body, set(), set())
+
+    def _scan_scope(self, ctx, body, local_defs, lambda_vars) -> Iterator[Violation]:
+        defs = set(local_defs)
+        lambdas = set(lambda_vars)
+        for node in self._scope_nodes(body):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        lambdas.add(target.id)
+        yield from self._check_scope(ctx, body, defs, lambdas)
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner_defs = {
+                    n.name
+                    for n in ast.walk(stmt)
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and n is not stmt
+                }
+                yield from self._scan_scope(ctx, stmt.body, defs | inner_defs, lambdas)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._scan_scope(ctx, stmt.body, defs, lambdas)
+
+    def _check_scope(self, ctx, body, local_defs, lambda_vars) -> Iterator[Violation]:
+        spawned: Dict[str, ast.AST] = {}
+        joined: set = set()
+        escaped: set = set()
+        for node in self._scope_nodes(body):
+            if isinstance(node, ast.Expr) and (
+                discarded := self._discarded_proc(node.value)
+            ) is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{self._call_name(discarded)} object constructed and "
+                    "discarded — it is never joined and its exit code is "
+                    "lost",
+                )
+            elif isinstance(node, ast.Assign):
+                if self._is_proc_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            spawned[target.id] = node.value
+                        else:
+                            escaped |= self._names_in(node.value)
+                elif any(isinstance(t, (ast.Attribute, ast.Subscript,
+                                        ast.Tuple, ast.List))
+                         for t in node.targets):
+                    escaped |= self._names_in(node.value)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    escaped |= self._names_in(node.value)
+            elif isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._JOIN_METHODS
+                        and isinstance(node.func.value, ast.Name)):
+                    joined.add(node.func.value.id)
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+                for keyword in node.keywords:
+                    if isinstance(keyword.value, ast.Name):
+                        escaped.add(keyword.value.id)
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+                for elt in node.elts:
+                    if isinstance(elt, ast.Name):
+                        escaped.add(elt.id)
+            elif isinstance(node, ast.Dict):
+                for value in list(node.keys) + list(node.values):
+                    if isinstance(value, ast.Name):
+                        escaped.add(value.id)
+            if isinstance(node, ast.Call) and self._is_proc_call(node):
+                yield from self._check_target(ctx, node, local_defs, lambda_vars)
+        for name, call in spawned.items():
+            if name not in joined and name not in escaped:
+                yield self.violation(
+                    ctx,
+                    call,
+                    f"{self._call_name(call)} object {name!r} is never "
+                    "join()/wait()ed and never escapes this scope",
+                )
+
+    def _check_target(self, ctx, node, local_defs, lambda_vars) -> Iterator[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg != "target":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Lambda):
+                yield self.violation(
+                    ctx,
+                    value,
+                    "lambda as Process target= cannot pickle under the "
+                    "spawn start method",
+                )
+            elif isinstance(value, ast.Name) and (
+                value.id in local_defs or value.id in lambda_vars
+            ):
+                what = ("locally-defined function"
+                        if value.id in local_defs else "lambda")
+                yield self.violation(
+                    ctx,
+                    value,
+                    f"{what} {value.id!r} as Process target= cannot pickle "
+                    "under the spawn start method",
+                )
+
+    # -- helpers -----------------------------------------------------------
+    def _discarded_proc(self, node) -> Optional[ast.Call]:
+        """The proc Call discarded by an expression statement, if any.
+
+        Covers the bare ``Process(...)`` and the fire-and-forget
+        ``Process(...).start()`` chain — joining is impossible in both
+        because no reference survives the statement.
+        """
+        if self._is_proc_call(node):
+            return node
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr not in self._JOIN_METHODS
+                and self._is_proc_call(node.func.value)):
+            return node.func.value
+        return None
+
+    def _is_proc_call(self, node) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in self._PROC_CALLS
+        return isinstance(func, ast.Name) and func.id in self._PROC_CALLS
+
+    @staticmethod
+    def _call_name(node) -> str:
+        func = node.func
+        return func.attr if isinstance(func, ast.Attribute) else func.id
+
+    @staticmethod
+    def _scope_nodes(body) -> Iterator[ast.AST]:
+        """Every node in this scope, stopping at nested scope boundaries."""
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _names_in(node) -> set:
+        return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP115 in order."""
+    """One instance of every replint rule, REP101..REP116 in order."""
     from .fsm import FsmExhaustivenessRule
     from .protocol import ProtocolExhaustivenessRule
 
@@ -1283,6 +1471,7 @@ def all_rules() -> List[Rule]:
         SeedProvenanceRule(),
         FsmExhaustivenessRule(),
         BufferEscapeRule(),
+        ClusterProcessHygieneRule(),
     ]
 
 

@@ -1,0 +1,134 @@
+"""Cluster goodput-vs-workers benchmark cells (``cluster_udp_goodput``).
+
+Aggregate goodput of a real multi-process loopback cluster as the
+worker count grows — the "near-linear up to core count" deliverable of
+the scale-out ROADMAP item.  Wall-clock goodput is machine-dependent,
+so the per-worker-count cells ride the suite ``extras`` channel into
+``BENCH_fastpath.json`` and never touch the byte-stable structure
+ledger; what the ledger pins is the *canonical merged report* of a
+fixed hash-placement cell, which depends only on the workload.
+
+The suite ``check`` is the cluster determinism gate: two identical
+cluster runs (fresh processes both times) must merge to byte-identical
+canonical reports — exercising placement, the worker control channel,
+graceful SIGTERM drain, and the order-invariant merge end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from time import perf_counter
+from typing import List, Tuple
+
+from ..service.engine import ServiceConfig
+
+__all__ = [
+    "WORKER_COUNTS_FULL",
+    "WORKER_COUNTS_SMOKE",
+    "CANONICAL_WORKERS",
+    "CLUSTER_CLIENTS",
+    "run_cluster_cell",
+    "time_workers_sweep",
+    "cluster_check",
+    "cluster_digest",
+    "last_workers_sweep",
+]
+
+#: Worker counts per mode (full exercises the multi-core scaling claim).
+WORKER_COUNTS_FULL = (1, 2, 4)
+WORKER_COUNTS_SMOKE = (1, 2)
+#: Concurrent pulls per cell and per-transfer body: enough bytes that a
+#: cell measures data movement through N service loops, not spawn cost.
+CLUSTER_CLIENTS = 16
+CLUSTER_SIZE_BYTES = 32 * 1024
+#: The fixed cell hashed into the structure ledger (mode-independent).
+CANONICAL_WORKERS = 2
+
+_DURATION_S = 60.0
+
+#: Goodput cells of the most recent sweep, exported via suite extras.
+_LAST_WORKERS_SWEEP: List[dict] = []
+
+
+def _cluster_config() -> ServiceConfig:
+    return ServiceConfig(protocol="blast", policy="rr", max_active=8,
+                         max_queue=256)
+
+
+def run_cluster_cell(workers: int) -> dict:
+    """One cluster run: spawn, drive, merge, tear down."""
+    from ..cluster import run_udp_cluster
+
+    result = run_udp_cluster(
+        workers=workers,
+        clients=CLUSTER_CLIENTS,
+        config=_cluster_config(),
+        placement="hash",
+        size_bytes=CLUSTER_SIZE_BYTES,
+        duration_s=_DURATION_S,
+        restart_limit=0,
+        monitor_interval_s=None,  # nothing between the pump and the wire
+    )
+    stats = result.stats
+    elapsed = max(stats.elapsed_s, 1e-9)
+    return {
+        "workers": workers,
+        "clients": stats.clients,
+        "ok": stats.ok,
+        "payload_bytes": stats.payload_bytes,
+        "makespan_s": stats.elapsed_s,
+        "aggregate_goodput_bytes_per_s": stats.payload_bytes / elapsed,
+        "canonical": result.report.canonical_json(),
+        "all_ok": result.all_ok,
+    }
+
+
+_WORKER_GRIDS = {
+    sum(WORKER_COUNTS_FULL): WORKER_COUNTS_FULL,
+    sum(WORKER_COUNTS_SMOKE): WORKER_COUNTS_SMOKE,
+}
+
+
+def time_workers_sweep(n: int, record: bool = False) -> float:
+    """Time one goodput-vs-workers sweep (grid selected by ``n``)."""
+    grid: Tuple[int, ...] = _WORKER_GRIDS.get(n, WORKER_COUNTS_SMOKE)
+    cells: List[dict] = []
+    start = perf_counter()
+    for workers in grid:
+        cell = run_cluster_cell(workers)
+        cells.append({key: cell[key] for key in (
+            "workers", "clients", "ok", "payload_bytes", "makespan_s",
+            "aggregate_goodput_bytes_per_s",
+        )})
+    elapsed = perf_counter() - start
+    if record:
+        _LAST_WORKERS_SWEEP[:] = cells
+    return elapsed
+
+
+def last_workers_sweep() -> dict:
+    """Suite ``extras``: goodput-vs-workers cells of the latest sweep."""
+    return {"goodput_vs_workers": list(_LAST_WORKERS_SWEEP)}
+
+
+def cluster_check() -> None:
+    """Merged-report determinism gate: two fresh runs, identical bytes."""
+    first = run_cluster_cell(CANONICAL_WORKERS)
+    second = run_cluster_cell(CANONICAL_WORKERS)
+    if not (first["all_ok"] and second["all_ok"]):
+        raise AssertionError(
+            f"cluster cell failed: all_ok={first['all_ok']}/"
+            f"{second['all_ok']}"
+        )
+    if first["canonical"] != second["canonical"]:
+        raise AssertionError(
+            "two identical cluster runs merged to different canonical "
+            f"reports:\n  first:  {first['canonical']!r}\n"
+            f"  second: {second['canonical']!r}"
+        )
+
+
+def cluster_digest() -> str:
+    """Digest of the canonical merged report of the fixed cell."""
+    cell = run_cluster_cell(CANONICAL_WORKERS)
+    return hashlib.sha256(cell["canonical"].encode()).hexdigest()

@@ -33,6 +33,11 @@ kernel" on whatever machine the suite runs:
     full mode).  A/B and equivalence-gated like the throughput suite;
     per-cell goodput rides the ``extras`` channel into
     ``BENCH_fastpath.json``.
+``cluster_udp_goodput``
+    Aggregate goodput of a real multi-process cluster vs worker count
+    (1/2/4 workers in full mode; see :mod:`.clusterbench`).  No frozen
+    baseline — the cluster is new — but the check is the merged-report
+    determinism gate, and the goodput-vs-workers cells ride ``extras``.
 
 Iteration counts scale with the mode (``smoke`` for CI, ``full`` for
 the recorded trajectory) but canonical digests never do — the structure
@@ -48,6 +53,11 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import legacy, workloads
+from .clusterbench import (
+    CANONICAL_WORKERS,
+    WORKER_COUNTS_FULL,
+    WORKER_COUNTS_SMOKE,
+)
 from .udpbench import (
     CANONICAL_CLIENTS,
     CLIENT_COUNTS_FULL,
@@ -355,6 +365,30 @@ def _udp_clients_extras() -> dict:
     return udpbench.last_clients_sweep()
 
 
+def _cluster_goodput(n: int) -> float:
+    from . import clusterbench
+
+    return clusterbench.time_workers_sweep(n, record=True)
+
+
+def _cluster_digest() -> str:
+    from . import clusterbench
+
+    return clusterbench.cluster_digest()
+
+
+def _cluster_check() -> None:
+    from . import clusterbench
+
+    clusterbench.cluster_check()
+
+
+def _cluster_extras() -> dict:
+    from . import clusterbench
+
+    return clusterbench.last_workers_sweep()
+
+
 SUITES: Dict[str, Suite] = {
     suite.name: suite
     for suite in (
@@ -434,6 +468,16 @@ SUITES: Dict[str, Suite] = {
             check=_udp_clients_check,
             canonical_ops=CANONICAL_CLIENTS,
             extras=_udp_clients_extras,
+        ),
+        Suite(
+            name="cluster_udp_goodput",
+            ops_full=sum(WORKER_COUNTS_FULL),
+            ops_smoke=sum(WORKER_COUNTS_SMOKE),
+            timed=_cluster_goodput,
+            digest=_cluster_digest,
+            check=_cluster_check,
+            canonical_ops=CANONICAL_WORKERS,
+            extras=_cluster_extras,
         ),
     )
 }

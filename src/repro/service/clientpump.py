@@ -213,10 +213,17 @@ class UdpClientPump:
         first_stream: int = 1,
         ring_slots: int = 2,
         slot_bytes: int = RECV_BUFFER_BYTES,
+        servers: Optional[Sequence[Tuple[str, int]]] = None,
     ):
+        # ``servers`` gives each client its own server address — the
+        # cluster's hash placement maps stream k to shard address
+        # servers[k-first_stream].  Default: everyone talks to ``server``.
+        if servers is not None and len(servers) != len(sizes):
+            raise ValueError("servers and sizes must have equal length")
         self.clients: List[_PumpClient] = [
-            _PumpClient(first_stream + index, size, server, protocol,
-                        strategy, pull_timeout_s, pull_retries,
+            _PumpClient(first_stream + index, size,
+                        server if servers is None else servers[index],
+                        protocol, strategy, pull_timeout_s, pull_retries,
                         recv_timeout_s, linger_s, ring_slots, slot_bytes)
             for index, size in enumerate(sizes)
         ]

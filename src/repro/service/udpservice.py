@@ -65,6 +65,7 @@ class UdpTransferService(UdpEndpoint):
         error_model: Optional[ErrorModel] = None,
         fault_plan: Optional[FaultPlan] = None,
         fault_seed: Optional[int] = None,
+        reuse_port: bool = False,
     ):
         self.config = config or ServiceConfig()
         super().__init__(
@@ -73,6 +74,7 @@ class UdpTransferService(UdpEndpoint):
             packet_bytes=self.config.packet_bytes,
             fault_plan=fault_plan,
             fault_seed=fault_seed,
+            reuse_port=reuse_port,
         )
         self.core = ServiceCore(self.config)
         self._stop = threading.Event()
@@ -143,6 +145,16 @@ class UdpTransferService(UdpEndpoint):
                     for out, dst in core.on_frame(
                             frame, monotonic() - start, client=addr):
                         batch.send_frame(out, dst)
+            # Graceful stop: flush every already-granted frame before
+            # returning, so receivers are not cut off mid-window and the
+            # final metrics report reflects all work the core admitted.
+            now = monotonic() - start
+            while True:
+                drained = core.drain_sends(now, SEND_BATCH)
+                if not drained:
+                    break
+                for frame, addr in drained:
+                    batch.send_frame(frame, addr)
         finally:
             selector.close()
         return False

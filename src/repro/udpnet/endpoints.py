@@ -72,10 +72,16 @@ class UdpEndpoint:
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         fault_plan: Optional[FaultPlan] = None,
         fault_seed: Optional[int] = None,
+        reuse_port: bool = False,
     ):
         if packet_bytes < 1:
             raise ValueError(f"packet_bytes must be >= 1, got {packet_bytes}")
         raw = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if reuse_port:
+            # Cluster placement mode: N worker processes bind the same
+            # (host, port) and the kernel hashes each client's 4-tuple
+            # to one of them (see repro.cluster.placement).
+            raw.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         raw.bind(bind)
         if fault_plan is not None:
             self.sock = FaultySocket(

@@ -1,0 +1,44 @@
+"""Rendezvous-hash placement: deterministic, balanced, minimally moving."""
+
+from repro.cluster import partition_streams, servers_for_streams, shard_for_stream
+
+
+def test_mapping_is_deterministic_and_in_range():
+    for n_shards in (1, 2, 7, 64):
+        for stream_id in range(1, 200):
+            shard = shard_for_stream(stream_id, n_shards, seed=3)
+            assert 0 <= shard < n_shards
+            assert shard == shard_for_stream(stream_id, n_shards, seed=3)
+
+
+def test_seed_changes_the_mapping():
+    mapping_a = [shard_for_stream(s, 8, seed=0) for s in range(1, 300)]
+    mapping_b = [shard_for_stream(s, 8, seed=1) for s in range(1, 300)]
+    assert mapping_a != mapping_b
+
+
+def test_partition_is_roughly_balanced_and_complete():
+    streams = range(1, 1025)
+    groups = partition_streams(streams, 8)
+    assert sorted(s for group in groups for s in group) == list(streams)
+    sizes = [len(group) for group in groups]
+    # Binomial(1024, 1/8): mean 128, std ~10.6 — a 4-sigma band.
+    assert all(85 <= size <= 171 for size in sizes), sizes
+
+
+def test_rendezvous_moves_only_to_the_new_shard():
+    # Growing N -> N+1 must never move a stream between *old* shards:
+    # either it keeps its shard or it lands on the new one.  This is
+    # the consistency property that makes resharding cheap.
+    for stream_id in range(1, 500):
+        old = shard_for_stream(stream_id, 8)
+        new = shard_for_stream(stream_id, 9)
+        assert new == old or new == 8
+
+
+def test_servers_for_streams_uses_the_hash():
+    addresses = [("127.0.0.1", 9000 + shard) for shard in range(4)]
+    streams = list(range(1, 33))
+    servers = servers_for_streams(streams, addresses)
+    for stream_id, server in zip(streams, servers):
+        assert server == addresses[shard_for_stream(stream_id, 4)]

@@ -51,6 +51,7 @@ def test_suite_registry_is_stable():
         "service_run",
         "service_udp_throughput",
         "service_udp_clients",
+        "cluster_udp_goodput",
     ]
 
 

@@ -80,6 +80,45 @@ class TestServeLoadgenSmoke:
                 server.kill()
                 server.wait(timeout=10)
 
+    def test_sigterm_drains_and_prints_final_report(self):
+        # Graceful shutdown: SIGTERM must drain in-flight grants and
+        # still emit the final metrics report before exiting 0.
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--report", "json"],
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"serving on 127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no banner in {banner!r}"
+            port = match.group(1)
+
+            loadgen = _run(["loadgen", "--mode", "udp", "--clients", "2",
+                            "--server", f"127.0.0.1:{port}"])
+            assert loadgen.returncode == 0, loadgen.stdout + loadgen.stderr
+
+            server.terminate()  # SIGTERM, not SIGKILL
+            out, err = server.communicate(timeout=SMOKE_TIMEOUT_S)
+            assert server.returncode == 0, out + err
+            report = json.loads(out)
+            assert report["summary"]["ok"] == 2
+            assert report["summary"]["failed"] == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
+
+    def test_cluster_cli_des_check_roundtrip(self, tmp_path):
+        ledger = tmp_path / "ledger.txt"
+        wrote = _run(["cluster", "--mode", "des", "--flows", "64",
+                      "--out", str(ledger)])
+        assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+        assert ledger.exists()
+        checked = _run(["cluster", "--mode", "des", "--flows", "64",
+                        "--check", str(ledger)])
+        assert checked.returncode == 0, checked.stdout + checked.stderr
+
     def test_des_loadgen_cli_json_report(self):
         result = _run(["loadgen", "--clients", "4", "--report", "json"])
         assert result.returncode == 0, result.stdout + result.stderr
