@@ -17,6 +17,12 @@ back to their global ids before merging.  The merged report is then a
 pure function of ``(flows, shard_streams, seed)`` — which is exactly
 what the committed ``benchmarks/results/cluster_scaling.txt`` golden
 pins.
+
+Within each shard, the engine's per-wakeup cost is proportional to due
+work, not to the shard's active-stream count (the deadline-heap /
+ready-set indexes of :mod:`repro.service.engine`; equivalence-gated in
+the ``service_sched_scale`` suite) — the property that keeps the
+10,240-stream sweep, and the next order of magnitude, affordable.
 """
 
 from __future__ import annotations

@@ -1450,8 +1450,94 @@ class ClusterProcessHygieneRule(Rule):
         return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+# ---------------------------------------------------------------------------
+# REP117 — full active-table walks in ServiceCore hot paths
+# ---------------------------------------------------------------------------
+
+class ActiveTableWalkRule(Rule):
+    """``ServiceCore`` keeps two indexes — the lazy-invalidation deadline
+    heap and the admission-ordered ready-set — precisely so that
+    ``poll``/``next_deadline``/``drain_sends`` cost is proportional to
+    the work due, not to the active-stream count.  One innocent
+    ``for entry in self._active.values()`` in a hot path silently
+    reintroduces the O(n)-per-wakeup walk the ``service_sched_scale``
+    suite retired, and nothing functional breaks — only the 10k-stream
+    sweeps quietly become O(n²) again.  This rule bans iterating or
+    materialising ``self._active`` anywhere in ``service/engine.py``
+    except the allowlisted rebuild helpers, whose whole point is to
+    amortise one sanctioned walk.
+    """
+
+    id = "REP117"
+    severity = "error"
+    family = "performance"
+    title = "full active-table walk outside an allowlisted rebuild helper"
+    fix_hint = (
+        "go through the scheduling indexes (deadline heap, ready-set, "
+        "client index) or move the walk into an allowlisted rebuild "
+        "helper (_rebuild_client_index / _compact_deadline_heap)"
+    )
+
+    _UNIT = "service/engine.py"
+    _ALLOWED = frozenset(("_rebuild_client_index", "_compact_deadline_heap"))
+    _VIEW_METHODS = frozenset(("items", "values", "keys"))
+    _MATERIALIZERS = frozenset(("list", "tuple", "set", "dict", "sorted",
+                                "max", "min", "sum", "any", "all"))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.unit != self._UNIT:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name in self._ALLOWED:
+                continue
+            for node in ast.iter_child_nodes(fn):
+                yield from self._walks_in(ctx, fn, node)
+
+    def _walks_in(self, ctx: FileContext, fn,
+                  node) -> Iterator[Violation]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are visited (and judged) on their own
+        if self._walks_active(node):
+            yield self.violation(
+                ctx,
+                node,
+                f"{fn.name}() walks the full self._active table; per-wakeup "
+                "cost must track due work, not active-stream count",
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walks_in(ctx, fn, child)
+
+    def _walks_active(self, node) -> bool:
+        if isinstance(node, ast.For):
+            return self._is_active_view(node.iter)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return any(self._is_active_view(gen.iter)
+                       for gen in node.generators)
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in self._MATERIALIZERS):
+            return any(self._is_active_view(arg) for arg in node.args)
+        return False
+
+    def _is_active_view(self, node) -> bool:
+        if self._is_active(node):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._VIEW_METHODS
+                and self._is_active(node.func.value))
+
+    @staticmethod
+    def _is_active(node) -> bool:
+        return (isinstance(node, ast.Attribute) and node.attr == "_active"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self")
+
+
 def all_rules() -> List[Rule]:
-    """One instance of every replint rule, REP101..REP116 in order."""
+    """One instance of every replint rule, REP101..REP117 in order."""
     from .fsm import FsmExhaustivenessRule
     from .protocol import ProtocolExhaustivenessRule
 
@@ -1472,6 +1558,7 @@ def all_rules() -> List[Rule]:
         FsmExhaustivenessRule(),
         BufferEscapeRule(),
         ClusterProcessHygieneRule(),
+        ActiveTableWalkRule(),
     ]
 
 

@@ -1,0 +1,245 @@
+"""DES scheduling-scale benchmark: indexed ServiceCore vs frozen walker.
+
+``service_sched_scale`` drives the *same* deterministic event loop —
+stop-and-wait streams, one client each, ack latencies spread over 32
+cohorts so wakeups stay desynchronised — through the live indexed
+:class:`~repro.service.engine.ServiceCore` and the frozen
+:class:`.legacy.LegacyServiceCore` (the full-table-walk engine this PR
+retired).  The harness is shared; the ratio isolates the scheduling
+data structures: deadline heap + ready-set versus O(active) walks per
+wakeup.
+
+The cell shape is chosen to make per-wakeup cost the whole story:
+
+- ``saw`` (stop-and-wait) senders, 4 packets each, so every stream is
+  *unsendable* most of the time — exactly one of its packets is in
+  flight — and a full-table walk inspects thousands of machines to
+  find the handful whose ack just landed;
+- one client per stream with ``max_active`` equal to the stream count:
+  no admission churn, no queue effects, pure scheduling;
+- an enormous ``timeout_s`` so retransmit timers never fire — the
+  deadline heap is kept honest (it indexes every outstanding packet)
+  but the workload's only events are grants and acks.
+
+Equivalence is gated the repo's way (docs/performance.md): before any
+timing, :func:`sched_check` runs both engines at two scales and
+requires byte-identical canonical metrics reports; during timing every
+cell's canonical report is recorded per side and compared as soon as
+both sides of a scale exist, so a full run cannot report a speedup for
+a divergent schedule.  The ledger digest hashes the indexed engine's
+canonical report at the fixed 256-stream cell, identical in smoke and
+full modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from heapq import heappop, heappush
+from time import perf_counter
+from typing import Callable, Dict, List, Tuple
+
+from ..core.frames import ControlFrame
+from ..service.engine import ServiceConfig, ServiceCore
+from ..service.machines import receiver_for
+
+__all__ = [
+    "SCHED_STREAMS_FULL",
+    "SCHED_STREAMS_SMOKE",
+    "CANONICAL_SCHED_STREAMS",
+    "run_sched_cell",
+    "time_sched_sweep",
+    "sched_check",
+    "sched_digest",
+    "last_sched_sweep",
+]
+
+#: Stream-count grids (ops totals select the grid, mirroring udpbench).
+SCHED_STREAMS_FULL = (1024, 4096, 10240)
+SCHED_STREAMS_SMOKE = (256,)
+
+#: The fixed cell hashed into the structure ledger (mode-independent).
+CANONICAL_SCHED_STREAMS = 256
+
+#: Scales the pre-timing equivalence gate runs on both engines.
+EQUIVALENCE_STREAMS = (256, 1024)
+
+#: Transfer shape: 4 packets per stream under stop-and-wait.
+_PACKET_BYTES = 64
+_SIZE_BYTES = 256
+
+#: Ack latency cohorts (sim seconds).  32 distinct values keep wakeups
+#: desynchronised — a single shared latency would batch every ack into
+#: one wakeup and hide the per-wakeup walk the suite exists to measure.
+_COHORTS = 32
+_LATENCIES = tuple(0.0011 + 0.00037 * i for i in range(_COHORTS))
+
+#: Retransmit timers must never fire: the workload is lossless, so a
+#: timer event would mean the harness mis-modelled the machines.
+_TIMEOUT_S = 1.0e6
+
+_GRIDS: Dict[int, Tuple[int, ...]] = {
+    sum(SCHED_STREAMS_FULL): SCHED_STREAMS_FULL,
+    sum(SCHED_STREAMS_SMOKE): SCHED_STREAMS_SMOKE,
+}
+
+#: Canonical report per (side, streams) of the current process — the
+#: full-run equivalence record (compared whenever both sides exist).
+_CANONICAL: Dict[Tuple[str, int], str] = {}
+
+#: Best wall-clock per (side, streams), exported via suite ``extras``.
+_BEST_S: Dict[str, Dict[int, float]] = {"indexed": {}, "legacy": {}}
+
+
+def _sched_config(streams: int) -> ServiceConfig:
+    return ServiceConfig(
+        protocol="saw",
+        policy="fifo",
+        packet_bytes=_PACKET_BYTES,
+        timeout_s=_TIMEOUT_S,
+        grants_per_poll=64,
+        max_active=streams,
+        max_queue=0,
+    )
+
+
+def _indexed_core(config: ServiceConfig):
+    return ServiceCore(config)
+
+
+def _legacy_core(config: ServiceConfig):
+    from .legacy import LegacyServiceCore
+
+    return LegacyServiceCore(config)
+
+
+_FACTORIES: Dict[str, Callable[[ServiceConfig], object]] = {
+    "indexed": _indexed_core,
+    "legacy": _legacy_core,
+}
+
+
+def run_sched_cell(side: str, streams: int) -> Tuple[float, str]:
+    """Run one cell; returns (timed seconds, canonical report JSON).
+
+    The timed window covers only the event loop — admission pulls,
+    grant/ack routing, and the engine's ``poll``/``next_deadline``
+    calls — not report rendering.  Raises if any stream fails or the
+    loop stalls: a perf number for a broken schedule is worthless.
+    """
+    core = _FACTORIES[side](_sched_config(streams))
+    receivers = {}
+    now = 0.0
+    for stream_id in range(1, streams + 1):
+        body = json.dumps({"op": "pull", "size": _SIZE_BYTES,
+                           "stream": stream_id}, sort_keys=True)
+        pull = ControlFrame(transfer_id=stream_id, request_id=stream_id,
+                            body=body.encode(), stream_id=stream_id)
+        replies = core.on_frame(pull, now, client=f"c{stream_id:05d}")
+        reply_body = json.loads(replies[0][0].body.decode())
+        if reply_body["status"] != "ok":
+            raise AssertionError(f"admission failed: {reply_body}")
+        receivers[stream_id] = receiver_for("saw", stream_id)
+
+    acks: List[Tuple[float, int, object]] = []
+    ack_counter = 0
+    wakeups = 0
+    wakeup_budget = 64 * streams + 100_000
+    start = perf_counter()
+    while core.finished_count < streams:
+        wakeups += 1
+        if wakeups > wakeup_budget:
+            raise AssertionError(
+                f"{side} engine stalled at {streams} streams "
+                f"({core.finished_count} finished)"
+            )
+        for frame, _client in core.poll(now):
+            stream_id = frame.stream_id
+            latency = _LATENCIES[stream_id % _COHORTS]
+            for reply in receivers[stream_id].on_frame(frame, now):
+                ack_counter += 1
+                heappush(acks, (now + latency, ack_counter, reply))
+        deadline = core.next_deadline(now)
+        if deadline is not None and deadline <= now:
+            continue  # more grants available at this instant
+        times = [t for t in (deadline, acks[0][0] if acks else None)
+                 if t is not None]
+        if not times:
+            if core.finished_count < streams:
+                raise AssertionError(
+                    f"{side} engine idle with work left at {streams} streams"
+                )
+            break
+        now = min(times)
+        while acks and acks[0][0] <= now:
+            _due, _order, reply = heappop(acks)
+            core.on_frame(reply, now)
+    elapsed = perf_counter() - start
+
+    bad = [sid for sid, receiver in receivers.items() if not receiver.done]
+    if bad:
+        raise AssertionError(f"incomplete streams on {side}: {bad[:5]}...")
+    return elapsed, core.metrics.canonical_json()
+
+
+def _record(side: str, streams: int, elapsed: float, canonical: str) -> None:
+    _CANONICAL[side, streams] = canonical
+    best = _BEST_S[side]
+    if streams not in best or elapsed < best[streams]:
+        best[streams] = elapsed
+    other = "legacy" if side == "indexed" else "indexed"
+    counterpart = _CANONICAL.get((other, streams))
+    if counterpart is not None and counterpart != canonical:
+        raise AssertionError(
+            "indexed engine's canonical report differs from the frozen "
+            f"walker's at {streams} streams:\n"
+            f"  {side}: {canonical!r}\n"
+            f"  {other}: {counterpart!r}"
+        )
+
+
+def time_sched_sweep(side: str, n: int) -> float:
+    """Time one grid sweep (selected by ``n``) on one engine side."""
+    grid = _GRIDS.get(n, SCHED_STREAMS_SMOKE)
+    total = 0.0
+    for streams in grid:
+        elapsed, canonical = run_sched_cell(side, streams)
+        _record(side, streams, elapsed, canonical)
+        total += elapsed
+    return total
+
+
+def sched_check() -> None:
+    """Pre-timing gate: both engines, byte-identical canonical reports."""
+    for streams in EQUIVALENCE_STREAMS:
+        _, legacy = run_sched_cell("legacy", streams)
+        _, indexed = run_sched_cell("indexed", streams)
+        if indexed != legacy:
+            raise AssertionError(
+                "indexed engine's canonical report differs from the frozen "
+                f"walker's at {streams} streams:\n"
+                f"  indexed: {indexed!r}\n"
+                f"  legacy:  {legacy!r}"
+            )
+
+
+def sched_digest() -> str:
+    """Ledger digest: indexed engine's canonical report, fixed cell."""
+    _, canonical = run_sched_cell("indexed", CANONICAL_SCHED_STREAMS)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def last_sched_sweep() -> dict:
+    """Suite ``extras``: per-scale best times and speedups, both sides."""
+    cells = []
+    for streams in sorted(set(_BEST_S["indexed"]) | set(_BEST_S["legacy"])):
+        indexed = _BEST_S["indexed"].get(streams)
+        legacy = _BEST_S["legacy"].get(streams)
+        cells.append({
+            "streams": streams,
+            "indexed_best_s": indexed,
+            "legacy_best_s": legacy,
+            "speedup": (legacy / indexed
+                        if indexed and legacy else None),
+        })
+    return {"sched_scale": cells}

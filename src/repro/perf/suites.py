@@ -38,6 +38,13 @@ kernel" on whatever machine the suite runs:
     (1/2/4 workers in full mode; see :mod:`.clusterbench`).  No frozen
     baseline — the cluster is new — but the check is the merged-report
     determinism gate, and the goodput-vs-workers cells ride ``extras``.
+``service_sched_scale``
+    Per-wakeup scheduling cost at scale: a deterministic DES event loop
+    of stop-and-wait streams (1k/4k/10k full, 256 smoke) through the
+    indexed ServiceCore and the frozen full-table walker
+    (:class:`.legacy.LegacyServiceCore`), equivalence-gated on
+    byte-identical canonical reports at every compared scale; per-scale
+    times and speedups ride ``extras`` (see :mod:`.schedbench`).
 
 Iteration counts scale with the mode (``smoke`` for CI, ``full`` for
 the recorded trajectory) but canonical digests never do — the structure
@@ -57,6 +64,11 @@ from .clusterbench import (
     CANONICAL_WORKERS,
     WORKER_COUNTS_FULL,
     WORKER_COUNTS_SMOKE,
+)
+from .schedbench import (
+    CANONICAL_SCHED_STREAMS,
+    SCHED_STREAMS_FULL,
+    SCHED_STREAMS_SMOKE,
 )
 from .udpbench import (
     CANONICAL_CLIENTS,
@@ -389,6 +401,36 @@ def _cluster_extras() -> dict:
     return clusterbench.last_workers_sweep()
 
 
+def _sched_scale(n: int) -> float:
+    from . import schedbench
+
+    return schedbench.time_sched_sweep("indexed", n)
+
+
+def _sched_scale_baseline(n: int) -> float:
+    from . import schedbench
+
+    return schedbench.time_sched_sweep("legacy", n)
+
+
+def _sched_scale_digest() -> str:
+    from . import schedbench
+
+    return schedbench.sched_digest()
+
+
+def _sched_scale_check() -> None:
+    from . import schedbench
+
+    schedbench.sched_check()
+
+
+def _sched_scale_extras() -> dict:
+    from . import schedbench
+
+    return schedbench.last_sched_sweep()
+
+
 SUITES: Dict[str, Suite] = {
     suite.name: suite
     for suite in (
@@ -478,6 +520,17 @@ SUITES: Dict[str, Suite] = {
             check=_cluster_check,
             canonical_ops=CANONICAL_WORKERS,
             extras=_cluster_extras,
+        ),
+        Suite(
+            name="service_sched_scale",
+            ops_full=sum(SCHED_STREAMS_FULL),
+            ops_smoke=sum(SCHED_STREAMS_SMOKE),
+            timed=_sched_scale,
+            baseline=_sched_scale_baseline,
+            digest=_sched_scale_digest,
+            check=_sched_scale_check,
+            canonical_ops=CANONICAL_SCHED_STREAMS,
+            extras=_sched_scale_extras,
         ),
     )
 }

@@ -14,6 +14,32 @@ Every output is a ``(frame, client_key)`` pair the substrate must
 transmit.  Client keys are opaque to the core (DES uses host names, UDP
 uses socket addresses).
 
+Per-wakeup cost is proportional to *actual work* — expired timers plus
+sendable streams — not to the active-stream count, which is what makes
+the 10k-stream cluster sweeps affordable (see docs/performance.md,
+"Sublinear ServiceCore scheduling").  Two indexes carry that:
+
+- a **lazy-invalidation deadline heap** of ``(deadline, admit_seq,
+  stream, epoch)`` entries.  Machines bump ``timer_epoch`` whenever a
+  mutation moves their ``next_deadline()``; an entry is valid exactly
+  while its epoch matches the entry recorded for its stream, so
+  ``next_deadline()`` is an O(1) peek (plus amortised pops of stale
+  entries) and ``poll()`` runs machine timers only for streams whose
+  deadline actually passed — in admission order, exactly as the
+  retired full-table walk did;
+- an **insertion-ordered ready-set** of streams with
+  ``has_frame(now) == True``, refreshed after every engine-mediated
+  machine transition (activation, ack/nak input, grant, timer fire) —
+  the only events that can change readiness between polls, because
+  readiness never *decays* with the mere passage of time.  Scheduling
+  policies iterate it through :class:`_ScheduleView` instead of the
+  full active table; grant order remains byte-for-byte admission
+  order.
+
+replint rule REP117 statically pins the discipline: the only full
+``self._active`` iteration allowed in this module lives in the
+explicitly allowlisted rebuild helper (``_rebuild_client_index``).
+
 Control protocol (JSON bodies, one pull per stream id)::
 
     request:   {"op": "pull", "stream": int, "size": int}
@@ -35,6 +61,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..congestion.tuner import AutoTuner
@@ -118,6 +145,14 @@ class _Entry:
 
     machine: object
     client: object
+    #: Global admission sequence number — the total order every index
+    #: sorts by, so indexed scheduling reproduces the insertion order
+    #: of the active dict byte-for-byte.
+    admit_seq: int = 0
+    #: ``machine.timer_epoch`` value under which this stream's current
+    #: deadline-heap entry (if any) was pushed; entries pushed under
+    #: older epochs are stale and dropped lazily.
+    heap_epoch: int = -1
 
 
 @dataclass
@@ -133,6 +168,36 @@ class _Pending:
     #: so activation must honour it even if the loss estimate has
     #: moved since.
     choice: Optional[object] = None
+
+
+class _ScheduleView:
+    """What a policy may see of the core: ready streams + client index.
+
+    Policies duck-type on ``ready_iter`` (see
+    :mod:`repro.service.scheduler`); iterating this view touches only
+    streams that can send now, in admission order, instead of the full
+    active table.
+    """
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core: "ServiceCore"):
+        self._core = core
+
+    def ready_iter(self, now: float):
+        """``(stream_id, entry)`` pairs with a frame ready, admission order."""
+        return iter(self._core._sorted_ready().items())
+
+    def client_count(self) -> int:
+        """Distinct clients with at least one live stream."""
+        return len(self._core._client_streams)
+
+    def client_positions(self) -> Dict[object, int]:
+        """Client -> rotation position (first-live-stream admission order)."""
+        core = self._core
+        if core._client_index_dirty:
+            core._rebuild_client_index()
+        return core._client_positions
 
 
 class ServiceCore:
@@ -161,6 +226,24 @@ class ServiceCore:
         self._responses: Dict[int, dict] = {}
         self._request_ids: Dict[int, int] = {}
         self.finished: Dict[int, TransferOutcome] = {}
+        # -- scheduling indexes (see module docstring) ----------------------
+        self._admit_seq = 0
+        #: Lazy-invalidation deadline heap: (deadline, admit_seq,
+        #: stream_id, epoch) tuples; stale entries dropped at the top.
+        self._deadline_heap: List[Tuple[float, int, int, int]] = []
+        #: Streams with has_frame(now) == True.  Kept insertion-ordered;
+        #: re-insertions out of admission order clear the sorted flag and
+        #: the next iteration re-sorts once (O(r log r), r = ready count).
+        self._ready: Dict[int, _Entry] = {}
+        self._ready_sorted = True
+        self._ready_tail_seq = -1
+        #: Client -> live-stream count; membership equals the distinct
+        #: clients of the active table (rotation purges on finish, so
+        #: long-running services don't accumulate dead rotation state).
+        self._client_streams: Dict[object, int] = {}
+        self._client_positions: Dict[object, int] = {}
+        self._client_index_dirty = False
+        self._view = _ScheduleView(self)
 
     # -- queries ------------------------------------------------------------
     @property
@@ -199,43 +282,37 @@ class ServiceCore:
             entry.machine.on_frame(frame, now)
             if entry.machine.finished:
                 self._finish(frame.stream_id, now)
+            else:
+                self._reindex_deadline(frame.stream_id, entry)
+                self._refresh_ready(frame.stream_id, entry, now)
         return []
 
     # -- timers + scheduling ------------------------------------------------
     def poll(self, now: float) -> List[Tuple[object, object]]:
-        """Advance timers, admit queued work, grant this quantum's sends."""
-        for stream_id in list(self._active):
-            entry = self._active[stream_id]
-            entry.machine.poll(now)
-            if entry.machine.finished:
-                self._finish(stream_id, now)
+        """Advance due timers, admit queued work, grant this quantum's sends."""
+        self._expire_timers(now)
         self._admit(now)
-        outputs: List[Tuple[object, object]] = []
-        grants = self.policy.grants(self._active, now,
-                                    self.config.grants_per_poll)
-        for stream_id in grants:
-            entry = self._active.get(stream_id)
-            if entry is None or not entry.machine.has_frame(now):
-                continue
-            outputs.append((entry.machine.next_frame(now), entry.client))
-        return outputs
+        return self._grant(now)
 
     def drain_sends(self, now: float,
                     max_frames: int) -> List[Tuple[object, object]]:
-        """Repeated :meth:`poll` until no grants remain or the batch fills.
+        """Repeated grant passes until none remain or the batch fills.
 
         The readiness loop calls this once per wakeup: where the DES
         substrate interleaves one ``poll`` per simulated quantum, the
         batched UDP loop amortises a single wakeup across many grant
-        quanta and fills a whole send batch.  Scheduling semantics are
-        untouched — this is literally repeated ``poll`` calls, so every
-        policy (fifo order, rr rotation, copy-budget windows) sees the
-        exact grant sequence the bounded-wait loop produced, just
-        without a sleep between quanta.
+        quanta and fills a whole send batch.  Timers advance exactly
+        once per batch — after the leading :meth:`poll`, no machine can
+        expire again at the same ``now``: every grant reschedules the
+        granted stream's timer to ``now + rto`` with ``rto > 0``, and a
+        still-overdue ungranted packet keeps its attempt count, so the
+        retired inner timer walks were no-ops by construction.  Grant
+        sequences (fifo order, rr rotation, copy-budget windows) are
+        byte-identical to the repeated-``poll`` loop this replaces.
         """
         outputs = self.poll(now)
         while outputs and len(outputs) < max_frames:
-            more = self.poll(now)
+            more = self._grant(now)
             if not more:
                 break
             outputs.extend(more)
@@ -245,23 +322,19 @@ class ServiceCore:
         """Earliest time :meth:`poll` must run again (None = wait for I/O)."""
         if self.idle:
             return None
-        deadlines: List[float] = []
-        sendable = any(
-            entry.machine.has_frame(now) for entry in self._active.values()
-        )
-        if sendable:
+        candidate: Optional[float] = None
+        if self._ready:
             if (isinstance(self.policy, CopyBudgetPolicy)
                     and self.policy.budget_exhausted(now)):
-                deadlines.append(self.policy.next_window_start(now))
+                candidate = self.policy.next_window_start(now)
             else:
-                deadlines.append(now)
-        for entry in self._active.values():
-            deadline = entry.machine.next_deadline()
-            if deadline is not None:
-                deadlines.append(deadline)
-        if not deadlines:
-            return None
-        return min(deadlines)
+                candidate = now
+        top = self._peek_deadline()
+        if candidate is None:
+            return top
+        if top is None:
+            return candidate
+        return candidate if candidate <= top else top
 
     # -- internals ----------------------------------------------------------
     def _on_control(self, frame: ControlFrame, now: float,
@@ -350,7 +423,18 @@ class ServiceCore:
             window=window,
             congestion=congestion,
         )
-        self._active[stream_id] = _Entry(machine=machine, client=client)
+        entry = _Entry(machine=machine, client=client,
+                       admit_seq=self._admit_seq)
+        self._admit_seq += 1
+        self._active[stream_id] = entry
+        count = self._client_streams.get(client)
+        if count is None:
+            self._client_streams[client] = 1
+            self._client_index_dirty = True  # new rotation member
+        else:
+            self._client_streams[client] = count + 1
+        self._push_deadline(stream_id, entry)
+        self._refresh_ready(stream_id, entry, now)
         self.metrics.on_started(stream_id, now)
 
     def _admit(self, now: float) -> None:
@@ -365,9 +449,162 @@ class ServiceCore:
 
     def _finish(self, stream_id: int, now: float) -> None:
         entry = self._active.pop(stream_id)
+        if self._ready.pop(stream_id, None) is not None and not self._ready:
+            self._ready_sorted = True
+            self._ready_tail_seq = -1
+        count = self._client_streams[entry.client] - 1
+        if count:
+            self._client_streams[entry.client] = count
+        else:
+            del self._client_streams[entry.client]
+        # Rotation positions follow each client's earliest live stream,
+        # which this finish may have been — rebuild lazily on demand.
+        self._client_index_dirty = True
         outcome = entry.machine.outcome()
         self.finished[stream_id] = outcome
         if self._tuner is not None and outcome.ok:
             self._tuner.observe(outcome.data_frames_sent, outcome.retransmits)
         self.metrics.on_finished(stream_id, outcome, now)
         self._admit(now)
+
+    # -- timer index --------------------------------------------------------
+    def _expire_timers(self, now: float) -> None:
+        """Run machine timers for every stream whose deadline passed.
+
+        Equivalent to the retired full-table walk: a machine whose
+        ``next_deadline()`` is None or in the future treats ``poll`` as
+        a no-op, so only due streams need touching — and they are
+        processed in admission order, preserving the walk's finish and
+        metrics ordering byte-for-byte.
+        """
+        heap = self._deadline_heap
+        active = self._active
+        due: List[Tuple[int, int]] = []
+        while heap:
+            deadline, admit_seq, stream_id, epoch = heap[0]
+            entry = active.get(stream_id)
+            if entry is None or epoch != entry.heap_epoch:
+                heappop(heap)  # stale (finished stream or moved timer)
+                continue
+            if deadline > now:
+                break
+            heappop(heap)
+            due.append((admit_seq, stream_id))
+        if not due:
+            return
+        due.sort()
+        for _seq, stream_id in due:
+            entry = active.get(stream_id)
+            if entry is None:
+                continue
+            entry.machine.poll(now)
+            if entry.machine.finished:
+                self._finish(stream_id, now)
+            else:
+                self._push_deadline(stream_id, entry)
+                self._refresh_ready(stream_id, entry, now)
+
+    def _push_deadline(self, stream_id: int, entry: _Entry) -> None:
+        """(Re-)index a stream whose heap entry was consumed or never made."""
+        machine = entry.machine
+        entry.heap_epoch = machine.timer_epoch
+        deadline = machine.next_deadline()
+        if deadline is not None:
+            heappush(self._deadline_heap,
+                     (deadline, entry.admit_seq, stream_id, entry.heap_epoch))
+
+    def _reindex_deadline(self, stream_id: int, entry: _Entry) -> None:
+        """Refresh a stream's heap entry after its machine was touched.
+
+        The epoch gate keeps the heap at one valid entry per stream: an
+        unchanged epoch means the machine's deadline did not move, so
+        the existing entry still stands.
+        """
+        if entry.machine.timer_epoch != entry.heap_epoch:
+            self._push_deadline(stream_id, entry)
+            if len(self._deadline_heap) > 2 * len(self._active) + 64:
+                self._compact_deadline_heap()
+
+    def _peek_deadline(self) -> Optional[float]:
+        heap = self._deadline_heap
+        active = self._active
+        while heap:
+            deadline, _seq, stream_id, epoch = heap[0]
+            entry = active.get(stream_id)
+            if entry is None or epoch != entry.heap_epoch:
+                heappop(heap)
+                continue
+            return deadline
+        return None
+
+    def _compact_deadline_heap(self) -> None:
+        """Drop stale entries in bulk once they outnumber live streams."""
+        active = self._active
+        kept = []
+        for item in self._deadline_heap:
+            entry = active.get(item[2])
+            if entry is not None and item[3] == entry.heap_epoch:
+                kept.append(item)
+        heapify(kept)
+        self._deadline_heap = kept
+
+    # -- ready index --------------------------------------------------------
+    def _refresh_ready(self, stream_id: int, entry: _Entry,
+                       now: float) -> None:
+        """Reconcile one stream's ready-set membership with its machine.
+
+        Called after every engine-mediated machine transition; between
+        transitions readiness can only *appear* (an outstanding packet
+        coming due — captured by the deadline heap), never vanish, so
+        the set is exact whenever grants are computed.
+        """
+        ready = self._ready
+        if entry.machine.has_frame(now):
+            if stream_id not in ready:
+                if ready and entry.admit_seq < self._ready_tail_seq:
+                    self._ready_sorted = False
+                else:
+                    self._ready_tail_seq = entry.admit_seq
+                ready[stream_id] = entry
+        elif ready.pop(stream_id, None) is not None and not ready:
+            self._ready_sorted = True
+            self._ready_tail_seq = -1
+
+    def _sorted_ready(self) -> Dict[int, _Entry]:
+        """The ready set, re-sorted to admission order when dirty."""
+        if not self._ready_sorted:
+            items = sorted(self._ready.items(),
+                           key=lambda kv: kv[1].admit_seq)
+            self._ready = dict(items)
+            self._ready_sorted = True
+            self._ready_tail_seq = items[-1][1].admit_seq if items else -1
+        return self._ready
+
+    def _grant(self, now: float) -> List[Tuple[object, object]]:
+        outputs: List[Tuple[object, object]] = []
+        grants = self.policy.grants(self._view, now,
+                                    self.config.grants_per_poll)
+        for stream_id in grants:
+            entry = self._active.get(stream_id)
+            if entry is None or not entry.machine.has_frame(now):
+                continue
+            outputs.append((entry.machine.next_frame(now), entry.client))
+            self._reindex_deadline(stream_id, entry)
+            self._refresh_ready(stream_id, entry, now)
+        return outputs
+
+    # -- rebuild helpers (REP117 allowlist) ---------------------------------
+    def _rebuild_client_index(self) -> None:
+        """Recompute rotation positions; the one sanctioned active walk.
+
+        Positions follow each client's earliest live stream in admission
+        order (the exact order the retired per-call grouping produced).
+        Cost is O(active), paid only after admissions or finishes change
+        membership — never per wakeup.
+        """
+        positions: Dict[object, int] = {}
+        for entry in self._active.values():
+            if entry.client not in positions:
+                positions[entry.client] = len(positions)
+        self._client_positions = positions
+        self._client_index_dirty = False

@@ -110,6 +110,17 @@ class _SenderBase:
         self.data_frames_sent = 0
         self.retransmits = 0
         self.rounds = 0
+        #: Dirty counter for the engine's lazy-invalidation deadline
+        #: index: bumped by every mutation that can move (or clear) the
+        #: value :meth:`next_deadline` reports, so a ``(deadline,
+        #: stream, epoch)`` heap entry is valid exactly while the epoch
+        #: it was pushed under is current.
+        self.timer_epoch = 0
+        #: Retransmit chunk cache: ``(seq, wants_reply)`` -> DataFrame.
+        #: Frames are immutable values on both substrates, so a
+        #: retransmission reuses the first transmission's frame instead
+        #:  of re-slicing and re-wrapping the payload chunk.
+        self._frame_cache: Dict[tuple, DataFrame] = {}
 
     def _rto(self) -> float:
         return self.controller.rto()
@@ -134,17 +145,22 @@ class _SenderBase:
     def _fail(self, message: str) -> None:
         self.failed = True
         self.error = message
+        self.timer_epoch += 1  # finished machines report no deadline
 
     def _data(self, seq: int, wants_reply: bool) -> DataFrame:
         self.data_frames_sent += 1
-        return DataFrame(
-            transfer_id=self.stream_id,
-            seq=seq,
-            total=self.total,
-            payload=self.chunks[seq],
-            wants_reply=wants_reply,
-            stream_id=self.stream_id,
-        )
+        frame = self._frame_cache.get((seq, wants_reply))
+        if frame is None:
+            frame = DataFrame(
+                transfer_id=self.stream_id,
+                seq=seq,
+                total=self.total,
+                payload=self.chunks[seq],
+                wants_reply=wants_reply,
+                stream_id=self.stream_id,
+            )
+            self._frame_cache[seq, wants_reply] = frame
+        return frame
 
 
 class BlastSenderMachine(_SenderBase):
@@ -213,6 +229,7 @@ class BlastSenderMachine(_SenderBase):
         if last_of_round:
             self._reply_deadline = now + self._rto()
             self._reply_requested_at = now
+            self.timer_epoch += 1
         return self._data(seq, wants_reply=last_of_round)
 
     def on_frame(self, frame, now: float) -> None:
@@ -225,6 +242,7 @@ class BlastSenderMachine(_SenderBase):
                 self.controller.on_ack(newly, now)
             self.done = True
             self._reply_deadline = None
+            self.timer_epoch += 1
         elif isinstance(frame, NakFrame):
             self._sample_reply_rtt(now)
             received = frame.total - len(frame.missing)
@@ -265,6 +283,7 @@ class BlastSenderMachine(_SenderBase):
         self._reply_deadline = None
         self._reply_requested_at = None
         self._burst_clean = True
+        self.timer_epoch += 1
 
 
 class WindowSenderMachine(_SenderBase):
@@ -343,12 +362,14 @@ class WindowSenderMachine(_SenderBase):
                     self.controller.on_timeout(now)
                     self._backoff_blackout = now + self._rto()
                 self._outstanding[seq] = now + self._rto()
+                self.timer_epoch += 1
                 return self._data(seq, wants_reply=True)
         seq = self._next_unsent
         self._next_unsent += 1
         self._attempts[seq] = 1
         self._sent_at[seq] = now
         self._outstanding[seq] = now + self._rto()
+        self.timer_epoch += 1
         return self._data(seq, wants_reply=True)
 
     def on_frame(self, frame, now: float) -> None:
@@ -357,6 +378,7 @@ class WindowSenderMachine(_SenderBase):
         if frame.seq in self._outstanding:
             lowest = min(self._outstanding)
             del self._outstanding[frame.seq]
+            self.timer_epoch += 1
             self._acked += 1
             if frame.seq == lowest:
                 self.controller.on_ack(1, now)
@@ -388,6 +410,7 @@ class WindowSenderMachine(_SenderBase):
             lowest = min(self._outstanding)
             self._outstanding[lowest] = now  # overdue: retransmit immediately
             self._fast_retx.add(lowest)
+            self.timer_epoch += 1
 
 
 def make_sender_machine(protocol: str, stream_id: int, payload: bytes,

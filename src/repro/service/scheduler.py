@@ -1,12 +1,28 @@
 """Pluggable scheduling policies for the concurrent transfer service.
 
 A policy decides which active transfers may put a frame on the wire in
-the current scheduling quantum.  The engine hands it the active table
-(insertion-ordered: admission order is the only ordering the service
-ever relies on — never hash order) and a grant budget; the policy
+the current scheduling quantum.  The engine hands it a *schedule view*
+(or, equivalently, the raw active table) and a grant budget; the policy
 returns stream ids in transmission order, at most ``budget`` of them,
-consulting ``has_frame(now)`` so it never grants a send the machine
-cannot honour.
+consulting ``frames_available(now)`` so it never grants a send the
+machine cannot honour.
+
+Two table shapes are accepted, duck-typed on ``ready_iter``:
+
+- the plain active dict (insertion-ordered: admission order is the
+  only ordering the service ever relies on — never hash order), the
+  historical interface still used by tests and ad-hoc callers;
+- the engine's :class:`~repro.service.engine._ScheduleView`, which
+  iterates only the *ready set* — streams with ``has_frame(now)`` —
+  in admission order, so a grants call costs O(ready + granted)
+  instead of O(active).
+
+Both shapes produce byte-identical grant sequences: a stream with no
+frame available contributes nothing to any policy's output, so
+skipping it up front (the view) or scanning-and-skipping it (the
+dict) is the same schedule.  The round-robin cursor arithmetic below
+preserves the historical cursor trajectory exactly — see the
+``RoundRobinPolicy`` docstring.
 
 Three policies, mirroring the design space the paper's copy-cost model
 opens up:
@@ -39,19 +55,39 @@ __all__ = [
 ]
 
 
+def _is_view(table) -> bool:
+    """Engine schedule view vs plain active dict (duck-typed)."""
+    return hasattr(table, "ready_iter")
+
+
+def _ready_iter(table, now):
+    """Yield ``(stream_id, entry)`` sendable candidates in admission order.
+
+    For a view this touches only the ready set; for a dict it scans the
+    whole table and skips unsendable streams — identical candidate
+    sequences either way.
+    """
+    if _is_view(table):
+        yield from table.ready_iter(now)
+        return
+    for stream_id, entry in table.items():
+        if entry.machine.frames_available(now) > 0:
+            yield stream_id, entry
+
+
 class SchedulingPolicy:
     """Base class; concrete policies override :meth:`grants`."""
 
     name = ""
 
-    def grants(self, active: Dict[int, "object"], now: float,
-               budget: int) -> List[int]:
+    def grants(self, table, now: float, budget: int) -> List[int]:
         """Stream ids to grant one frame each, in transmission order.
 
-        ``active`` maps stream id to an entry exposing ``client`` and a
-        ``machine`` with ``has_frame(now)``; iteration order is
-        admission order.  A stream id may appear several times when the
-        policy lets one transfer send a run of frames.
+        ``table`` is either the active dict (stream id -> entry with
+        ``client`` and a ``machine``) or the engine's schedule view;
+        candidate iteration order is admission order in both cases.  A
+        stream id may appear several times when the policy lets one
+        transfer send a run of frames.
         """
         raise NotImplementedError
 
@@ -64,9 +100,9 @@ class FifoPolicy(SchedulingPolicy):
 
     name = "fifo"
 
-    def grants(self, active, now, budget):
+    def grants(self, table, now, budget):
         order: List[int] = []
-        for stream_id, entry in active.items():
+        for stream_id, entry in _ready_iter(table, now):
             take = min(entry.machine.frames_available(now),
                        budget - len(order))
             order.extend([stream_id] * take)
@@ -76,43 +112,94 @@ class FifoPolicy(SchedulingPolicy):
 
 
 class RoundRobinPolicy(SchedulingPolicy):
-    """One frame per client per rotation; rotation survives across quanta."""
+    """One frame per client per rotation; rotation survives across quanta.
+
+    The historical implementation walked every active client cyclically
+    from a persistent cursor, advancing the cursor once per *visited*
+    client (including clients with nothing to send).  Its observable
+    contract is: picks happen in cyclic client-position order starting
+    at the cursor, restricted to clients with an available stream, and
+    the call leaves the cursor one position past the last client
+    granted (or merely normalised modulo the client count when nothing
+    was granted — availability only shrinks within one call, so a
+    client visited idle can never be granted later in the same call).
+    The ready-set implementation below reproduces that contract without
+    visiting idle clients: candidates are the clients of ready streams,
+    walked in position order from the cursor, and the final cursor is
+    computed from the last pick's position.
+    """
 
     name = "rr"
 
     def __init__(self) -> None:
         self._cursor = 0
 
-    def grants(self, active, now, budget):
+    def grants(self, table, now, budget):
         order: List[int] = []
-        if not active:
+        if _is_view(table):
+            client_count = table.client_count()
+        else:
+            client_count = len({e.client for e in table.values()})
+        if client_count == 0:
             return order
-        # Group streams by client, insertion-ordered.
-        clients: Dict[str, List[int]] = {}
-        for stream_id, entry in active.items():
-            clients.setdefault(entry.client, []).append(stream_id)
-        names = list(clients)
-        self._cursor %= len(names)
-        granted: Dict[int, int] = {}
+        # The historical walk normalised the cursor against the current
+        # client count on every call, grants or not.
+        self._cursor %= client_count
 
-        def available(stream_id: int) -> int:
-            entry = active[stream_id]
-            return entry.machine.frames_available(now) - granted.get(stream_id, 0)
+        # Group sendable streams by client, admission-ordered both
+        # across clients (first sendable stream) and within one client.
+        by_client: Dict[object, List] = {}
+        for stream_id, entry in _ready_iter(table, now):
+            by_client.setdefault(entry.client, []).append((stream_id, entry))
+        if not by_client:
+            return order
 
-        idle_rotations = 0
-        index = self._cursor
-        while len(order) < budget and idle_rotations < len(names):
-            name = names[index % len(names)]
-            index += 1
-            picked = False
-            for stream_id in clients[name]:
-                if available(stream_id) > 0:
-                    order.append(stream_id)
-                    granted[stream_id] = granted.get(stream_id, 0) + 1
-                    picked = True
-                    break
-            idle_rotations = 0 if picked else idle_rotations + 1
-        self._cursor = index % len(names)
+        if _is_view(table):
+            position = table.client_positions()
+        else:
+            position = {}
+            for entry in table.values():
+                if entry.client not in position:
+                    position[entry.client] = len(position)
+
+        remaining: Dict[int, int] = {}
+
+        def available(stream_id, entry) -> int:
+            if stream_id not in remaining:
+                remaining[stream_id] = entry.machine.frames_available(now)
+            return remaining[stream_id]
+
+        # Candidate clients in cyclic position order from the cursor.
+        candidates = sorted(by_client, key=position.__getitem__)
+        start = 0
+        while (start < len(candidates)
+               and position[candidates[start]] < self._cursor):
+            start += 1
+        heads = {name: 0 for name in candidates}
+        index = start
+        last_position = None
+        while candidates and len(order) < budget:
+            if index >= len(candidates):
+                index = 0
+            name = candidates[index]
+            streams = by_client[name]
+            head = heads[name]
+            # Skip streams this call has drained; availability never
+            # grows within one call, so the head pointer only advances.
+            while (head < len(streams)
+                   and available(*streams[head]) <= 0):
+                head += 1
+            heads[name] = head
+            if head < len(streams):
+                stream_id, _entry = streams[head]
+                order.append(stream_id)
+                remaining[stream_id] -= 1
+                last_position = position[name]
+                index += 1
+            else:
+                candidates.pop(index)  # exhausted for this call
+        if last_position is not None:
+            self._cursor = (last_position + 1) % client_count
         return order
 
 
@@ -139,7 +226,7 @@ class CopyBudgetPolicy(RoundRobinPolicy):
         self._window_index = -1
         self._used = 0
 
-    def grants(self, active, now, budget):
+    def grants(self, table, now, budget):
         window = int(now / self.quantum_s)
         if window != self._window_index:
             self._window_index = window
@@ -147,7 +234,7 @@ class CopyBudgetPolicy(RoundRobinPolicy):
         remaining = self.per_quantum - self._used
         if remaining <= 0:
             return []
-        order = super().grants(active, now, min(budget, remaining))
+        order = super().grants(table, now, min(budget, remaining))
         self._used += len(order)
         return order
 

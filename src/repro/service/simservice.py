@@ -99,6 +99,9 @@ def _server_process(env: Environment, host: Host, peers: Dict[str, Host],
             return
         if outputs:
             continue  # sending advanced the clock; run timers again
+        # An O(1) peek at the core's deadline index — safe to derive the
+        # wait on every loop iteration even at cluster-sweep stream
+        # counts (see docs/performance.md, sublinear scheduling).
         deadline = core.next_deadline(env.now)
         if deadline is None:
             timeout = None  # pure I/O wait: nothing to do until a frame

@@ -110,6 +110,9 @@ class UdpTransferService(UdpEndpoint):
         try:
             while not self._stop.is_set():
                 now = monotonic() - start
+                # One timer pass, then repeated grant passes: the core
+                # advances machine timers once per batch, not once per
+                # inner grant quantum (see ServiceCore.drain_sends).
                 for frame, addr in core.drain_sends(now, SEND_BATCH):
                     batch.send_frame(frame, addr)
                 settled = (core.finished_count

@@ -1,0 +1,21 @@
+"""REP117 bad fixture: every wakeup walks the whole active table."""
+
+
+class ServiceCore:
+    def __init__(self):
+        self._active = {}
+
+    def poll(self, now):
+        outputs = []
+        for stream_id, entry in self._active.items():
+            entry.machine.poll(now)
+            if entry.machine.has_frame(now):
+                outputs.append(stream_id)
+        return outputs
+
+    def next_deadline(self, now):
+        deadlines = [entry.machine.next_deadline()
+                     for entry in self._active.values()]
+        candidates = [deadline for deadline in deadlines
+                      if deadline is not None]
+        return min(candidates) if candidates else None

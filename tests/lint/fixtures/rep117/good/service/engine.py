@@ -1,0 +1,33 @@
+"""REP117 good fixture: hot paths read the indexes; one sanctioned walk."""
+
+from heapq import heappop
+
+
+class ServiceCore:
+    def __init__(self):
+        self._active = {}
+        self._deadline_heap = []
+        self._ready = {}
+        self._client_positions = {}
+
+    def poll(self, now):
+        due = []
+        while self._deadline_heap and self._deadline_heap[0][0] <= now:
+            _deadline, stream_id = heappop(self._deadline_heap)
+            if self._active.get(stream_id) is not None:
+                due.append(stream_id)
+        return due
+
+    def next_deadline(self, now):
+        if self._ready:
+            return now
+        if self._deadline_heap:
+            return self._deadline_heap[0][0]
+        return None
+
+    def _rebuild_client_index(self):
+        positions = {}
+        for entry in self._active.values():
+            if entry.client not in positions:
+                positions[entry.client] = len(positions)
+        self._client_positions = positions

@@ -31,6 +31,7 @@ AB_SUITES = (
     "codec_decode",
     "service_udp_throughput",
     "service_udp_clients",
+    "service_sched_scale",
 )
 
 
@@ -52,6 +53,7 @@ def test_suite_registry_is_stable():
         "service_udp_throughput",
         "service_udp_clients",
         "cluster_udp_goodput",
+        "service_sched_scale",
     ]
 
 
@@ -100,6 +102,17 @@ def test_clients_suite_exports_goodput_extras(results):
         assert cell["ok"] == cell["clients"]
         assert cell["per_client_goodput_bytes_per_s"] > 0
     # extras are machine facts: bench JSON only, never the ledger.
+    assert "extras" not in render_ledger(results)
+
+
+def test_sched_suite_exports_scale_extras(results):
+    payload = bench_payload(results, mode="smoke")
+    cells = payload["suites"]["service_sched_scale"]["extras"]["sched_scale"]
+    assert [cell["streams"] for cell in cells] == [256]
+    for cell in cells:
+        assert cell["indexed_best_s"] > 0
+        assert cell["legacy_best_s"] > 0
+        assert cell["speedup"] > 0
     assert "extras" not in render_ledger(results)
 
 

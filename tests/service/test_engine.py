@@ -130,3 +130,64 @@ class TestSchedulingAndCompletion:
         report = json.loads(core.report_json())
         assert report["config"]["policy"] == "rr"
         assert report["schema_version"] == 1
+
+
+class TestSchedulingIndexes:
+    def test_rr_rotation_purges_finished_clients(self):
+        core = ServiceCore(ServiceConfig(policy="rr", max_active=8))
+        for stream_id, client in ((1, "a"), (2, "b"), (3, "c")):
+            core.on_frame(pull_frame(stream_id, 1024, client=client), 0.0,
+                          client=client)
+        core.poll(0.0)
+        core.on_frame(AckFrame(transfer_id=1, seq=0, stream_id=1), 0.01)
+        assert core.finished_count == 1
+        # Rotation state is O(live clients): the finished client is gone
+        # from the count and from the rebuilt position index.
+        assert "a" not in core._client_streams
+        assert core._view.client_count() == 2
+        assert set(core._view.client_positions()) == {"b", "c"}
+
+    def test_rotation_index_drops_fully_drained_service(self):
+        core = ServiceCore(ServiceConfig(policy="rr", max_active=4))
+        core.on_frame(pull_frame(1, 1024, client="a"), 0.0, client="a")
+        core.poll(0.0)
+        core.on_frame(AckFrame(transfer_id=1, seq=0, stream_id=1), 0.01)
+        assert core.idle
+        assert core._client_streams == {}
+        assert core._view.client_positions() == {}
+
+    def test_drain_sends_advances_timers_once_per_batch(self):
+        core = ServiceCore(ServiceConfig(protocol="sliding", window=2,
+                                         timeout_s=0.05, grants_per_poll=1,
+                                         max_active=4))
+        core.on_frame(pull_frame(1, 4096), 0.0, client="a")
+        assert len(core.drain_sends(0.0, 8)) == 2  # window-limited
+        counts = {}
+        for stream_id, entry in core._active.items():
+            original = entry.machine.poll
+
+            def wrapped(now, _original=original, _sid=stream_id):
+                counts[_sid] = counts.get(_sid, 0) + 1
+                return _original(now)
+
+            entry.machine.poll = wrapped
+        retx = core.drain_sends(0.1, 8)  # past the retransmit deadline
+        assert len(retx) == 2
+        assert counts == {1: 1}  # one timer pass for the whole batch
+
+    def test_deadline_heap_stays_bounded(self):
+        core = ServiceCore(ServiceConfig(protocol="saw", packet_bytes=64,
+                                         max_active=4, grants_per_poll=8))
+        core.on_frame(pull_frame(1, 64 * 64), 0.0, client="a")
+        now = 0.0
+        for _ in range(200):
+            outputs = core.poll(now)
+            now += 0.001
+            for frame, _client in outputs:
+                core.on_frame(AckFrame(transfer_id=1, seq=frame.seq,
+                                       stream_id=1), now)
+            if core.finished_count:
+                break
+        assert core.finished_count == 1 and core.idle
+        assert not core._ready
+        assert len(core._deadline_heap) <= 2 * len(core._active) + 64

@@ -186,3 +186,40 @@ class TestReceiverMachine:
                           stream_id=6)
         assert receiver.on_frame(frame, 0.0) == []
         assert receiver.tracker is None
+
+
+class TestFrameCacheAndTimerEpoch:
+    def test_retransmission_reuses_cached_frame(self):
+        machine = WindowSenderMachine(1, bytes(4096), 1024, timeout_s=0.1,
+                                      window=2)
+        first = drain(machine, 0.0)
+        retx = drain(machine, 0.15)
+        # DataFrame is an immutable value: the retransmit chunk cache
+        # hands back the very frame built the first time.
+        assert retx[0] is first[0]
+
+    def test_cache_does_not_skew_send_accounting(self):
+        machine = WindowSenderMachine(1, bytes(2048), 1024, timeout_s=0.1,
+                                      window=1)
+        drain(machine, 0.0)
+        drain(machine, 0.15)
+        assert machine.data_frames_sent == 2 and machine.retransmits == 1
+
+    def test_window_epoch_moves_with_deadlines(self):
+        machine = WindowSenderMachine(1, bytes(2048), 1024, timeout_s=0.1,
+                                      window=2)
+        epoch = machine.timer_epoch
+        drain(machine, 0.0)  # outstanding deadlines appear
+        assert machine.timer_epoch > epoch
+        epoch = machine.timer_epoch
+        machine.on_frame(AckFrame(transfer_id=1, seq=0, stream_id=1), 0.01)
+        assert machine.timer_epoch > epoch  # earliest deadline moved
+
+    def test_blast_epoch_moves_on_round_boundaries(self):
+        machine = BlastSenderMachine(1, bytes(2048), 1024, timeout_s=0.1)
+        epoch = machine.timer_epoch
+        drain(machine, 0.0)  # last frame of the round arms the reply timer
+        assert machine.timer_epoch > epoch
+        epoch = machine.timer_epoch
+        machine.poll(0.2)  # reply timeout: next round starts, timer re-arms
+        assert machine.timer_epoch > epoch
